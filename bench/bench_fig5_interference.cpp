@@ -1,0 +1,99 @@
+// Figure 5 — performance interference in microservices (§6.1).
+//
+// Regenerates: (5b) the victim-latency trace around the aggressor's ramp,
+// (5c) top-K recall for K in {1..10} for Murphy / NetMedic / ExplainIt /
+// Sage over the interference sweep, and (5d) precision/recall plus the
+// relaxed variants at K = 5.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/emulation/scenarios.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/eval/ascii_chart.h"
+#include "src/eval/tables.h"
+#include "src/stats/summary.h"
+
+using namespace murphy;
+
+int main() {
+  bench::print_header(
+      "Figure 5: performance interference (hotel-reservation, cyclic input)",
+      "Murphy 86% recall@5; Sage 0 (root cause outside model); "
+      "NetMedic/ExplainIt <15%; Murphy perfect relaxed-recall");
+
+  // ---- Fig. 5b: one sample trace --------------------------------------------
+  {
+    emulation::InterferenceOptions opts;
+    opts.slices = 420;
+    opts.ramp_at = 300;
+    opts.seed = 42;
+    const auto c = emulation::make_interference_case(opts);
+    const auto* lat = c.db.metrics().find(
+        c.symptom_entity, c.db.catalog().find(telemetry::metrics::kLatency));
+    std::printf("Fig 5b: victim (service 2 / client B) latency trace, "
+                "aggressor ramps at t=%zu0s\n", static_cast<std::size_t>(300));
+    eval::ChartOptions copts;
+    copts.x_label = "time (0 .. 4200s)";
+    copts.y_label = "service latency (ms)";
+    std::vector<double> trace(lat->values().begin(), lat->values().end());
+    std::printf("%s\n", eval::line_chart(trace, copts).c_str());
+  }
+
+  // ---- sweep -----------------------------------------------------------------
+  const std::size_t variants = bench::scaled(8, 32);
+  const auto sweep = emulation::interference_sweep(variants, 2023);
+
+  auto schemes = bench::make_schemes(7);
+  struct Row {
+    core::Diagnoser* scheme;
+    eval::Accuracy acc;
+  };
+  std::vector<Row> rows;
+  for (auto* s : schemes.all()) rows.push_back(Row{s, {}});
+
+  std::size_t i = 0;
+  for (const auto& opts : sweep) {
+    const auto c = emulation::make_interference_case(opts);
+    for (auto& row : rows) row.acc.add(eval::run_case(*row.scheme, c));
+    std::fprintf(stderr, "  variant %zu/%zu done\n", ++i, sweep.size());
+  }
+
+  // ---- Fig. 5c: top-K recall --------------------------------------------------
+  {
+    eval::Table table({"scheme", "top-1", "top-2", "top-4", "top-5", "top-8",
+                       "top-10"});
+    for (const auto& row : rows) {
+      table.add_row({std::string(row.scheme->name()),
+                     format_double(row.acc.top_k(1), 2),
+                     format_double(row.acc.top_k(2), 2),
+                     format_double(row.acc.top_k(4), 2),
+                     format_double(row.acc.top_k(5), 2),
+                     format_double(row.acc.top_k(8), 2),
+                     format_double(row.acc.top_k(10), 2)});
+    }
+    std::printf("Fig 5c: top-K recall over %zu interference variants\n%s\n",
+                sweep.size(), table.render().c_str());
+  }
+
+  // ---- Fig. 5d: precision/recall + relaxed ------------------------------------
+  {
+    eval::Table table({"scheme", "recall@5", "relaxed-recall@5", "precision",
+                       "relaxed-precision"});
+    for (const auto& row : rows) {
+      table.add_row({std::string(row.scheme->name()),
+                     format_double(row.acc.top_k(5), 2),
+                     format_double(row.acc.relaxed_top_k(5), 2),
+                     format_double(row.acc.mean_precision(), 2),
+                     format_double(row.acc.mean_relaxed_precision(), 2)});
+    }
+    std::printf("Fig 5d: correctness criteria at K=5\n%s\n",
+                table.render().c_str());
+  }
+
+  std::printf("expected shape: murphy wins recall@5 by a wide margin; sage=0 "
+              "(true root cause outside its call-tree model); murphy "
+              "relaxed-recall ~1.0\n");
+  return 0;
+}

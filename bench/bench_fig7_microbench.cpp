@@ -1,0 +1,143 @@
+// Figure 7 — Murphy design microbenchmarks (§6.5).
+//
+// Three bar groups, all recall@5 on contention scenarios:
+//  * "no prior incidents"   — traces whose training window contains no
+//                             earlier fault (§6.5.3);
+//  * "trained offline" vs "on fresh data" — excluding vs including the
+//                             in-incident points from training (§6.5.1);
+//  * ntrain in {128, 256, 512} — length of the training history (§6.5.2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/emulation/scenarios.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/eval/tables.h"
+
+using namespace murphy;
+
+namespace {
+
+// Runs Murphy with an explicit training range carved from the case.
+eval::CaseOutcome run_with_training(core::MurphyDiagnoser& murphy,
+                                    const emulation::DiagnosisCase& c,
+                                    TimeIndex train_begin,
+                                    TimeIndex train_end) {
+  core::DiagnosisRequest req = eval::request_for(c);
+  req.train_begin = train_begin;
+  req.train_end = train_end;
+  const auto result = murphy.diagnose(req);
+  const std::vector<EntityId> truth{c.root_cause};
+  return eval::score_result(result, truth, c.relaxed_set);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7: Murphy microbenchmarks (recall@5 on contention scenarios)",
+      "no-prior-incidents 78%; offline training collapses to ~15% vs ~90% "
+      "online; accuracy grows with ntrain (87% @128 -> 95% @512)");
+
+  const std::size_t scenarios = bench::scaled(6, 40);
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = bench::full_scale() ? 500 : 150;
+  core::MurphyDiagnoser murphy(mopts);
+
+  eval::Table table({"configuration", "recall@5", "top-1"});
+
+  // ---- no prior incidents (§6.5.3) -------------------------------------------
+  {
+    auto sweep = emulation::contention_sweep(
+        emulation::ContentionOptions::App::kHotelReservation, scenarios,
+        /*prior_incidents=*/0, 211);
+    eval::Accuracy acc;
+    std::size_t i = 0;
+    for (const auto& opts : sweep) {
+      const auto c = emulation::make_contention_case(opts);
+      acc.add(eval::run_case(murphy, c));
+      std::fprintf(stderr, "  no-prior %zu/%zu\n", ++i, sweep.size());
+    }
+    table.add_row({"no prior incidents", format_double(acc.top_k(5), 2),
+                   format_double(acc.top_k(1), 2)});
+  }
+
+  // ---- offline vs online training (§6.5.1) -----------------------------------
+  // Per the paper: offline training is *aided* with maximum prior incidents
+  // (14) so its training window contains fault patterns; "on fresh data" is
+  // the standard §6.3 setup whose window includes the live incident.
+  {
+    auto offline_sweep = emulation::contention_sweep(
+        emulation::ContentionOptions::App::kHotelReservation, scenarios,
+        /*prior_incidents=*/14, 223);
+    eval::Accuracy offline;
+    std::size_t i = 0;
+    for (const auto& opts : offline_sweep) {
+      const auto c = emulation::make_contention_case(opts);
+      // Training stops just before the incident begins.
+      offline.add(run_with_training(murphy, c, 0, c.incident_start));
+      std::fprintf(stderr, "  offline %zu/%zu\n", ++i, offline_sweep.size());
+    }
+    table.add_row({"trained offline", format_double(offline.top_k(5), 2),
+                   format_double(offline.top_k(1), 2)});
+
+    auto fresh_sweep = emulation::contention_sweep(
+        emulation::ContentionOptions::App::kHotelReservation, scenarios,
+        /*prior_incidents=*/4, 223);
+    eval::Accuracy fresh;
+    i = 0;
+    for (const auto& opts : fresh_sweep) {
+      const auto c = emulation::make_contention_case(opts);
+      fresh.add(run_with_training(murphy, c, 0, c.incident_end));
+      std::fprintf(stderr, "  fresh %zu/%zu\n", ++i, fresh_sweep.size());
+    }
+    table.add_row({"on fresh data", format_double(fresh.top_k(5), 2),
+                   format_double(fresh.top_k(1), 2)});
+
+    // Extension (§7 future work): offline + online hybrid — train on the
+    // full window but with recency-weighted ridge so the freshest points
+    // dominate while the long history still informs the fit.
+    core::MurphyOptions hopts = mopts;
+    hopts.training.recency_half_life = 60.0;
+    core::MurphyDiagnoser hybrid_murphy(hopts);
+    eval::Accuracy hybrid;
+    i = 0;
+    for (const auto& opts : fresh_sweep) {
+      const auto c = emulation::make_contention_case(opts);
+      hybrid.add(run_with_training(hybrid_murphy, c, 0, c.incident_end));
+      std::fprintf(stderr, "  hybrid %zu/%zu\n", ++i, fresh_sweep.size());
+    }
+    table.add_row({"hybrid (recency-weighted)",
+                   format_double(hybrid.top_k(5), 2),
+                   format_double(hybrid.top_k(1), 2)});
+  }
+
+  // ---- training length sweep (§6.5.2) ----------------------------------------
+  for (const std::size_t ntrain : {std::size_t{128}, std::size_t{256},
+                                   std::size_t{512}}) {
+    auto sweep = emulation::contention_sweep(
+        emulation::ContentionOptions::App::kHotelReservation, scenarios,
+        /*prior_incidents=*/4, 227);
+    eval::Accuracy acc;
+    std::size_t i = 0;
+    for (auto opts : sweep) {
+      opts.slices = ntrain + 60;  // fault occupies the final stretch
+      const auto c = emulation::make_contention_case(opts);
+      const TimeIndex end = c.incident_end;
+      const TimeIndex begin = end > ntrain ? end - ntrain : 0;
+      acc.add(run_with_training(murphy, c, begin, end));
+      std::fprintf(stderr, "  ntrain=%zu %zu/%zu\n", ntrain, ++i,
+                   sweep.size());
+    }
+    table.add_row({"ntrain = " + std::to_string(ntrain),
+                   format_double(acc.top_k(5), 2),
+                   format_double(acc.top_k(1), 2)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: offline training FAR below fresh-data "
+              "training (paper: 15%% vs 90%%); recall grows modestly with "
+              "ntrain; no-prior-incidents remains usable (paper: 78%%)\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// §6.7 — runtime and scale: google-benchmark measurements of Murphy's two
+// cost components (online training, counterfactual inference) against the
+// paper's complexity model O((N+M)T + (N+M)W), plus end-to-end diagnosis at
+// growing relationship-graph sizes.
+#include <benchmark/benchmark.h>
+
+#include "src/core/factor_model.h"
+#include "src/core/metric_space.h"
+#include "src/core/murphy.h"
+#include "src/core/sampler.h"
+#include "src/enterprise/dynamics.h"
+#include "src/enterprise/topology.h"
+#include "src/eval/runner.h"
+
+using namespace murphy;
+
+namespace {
+
+// Builds an enterprise environment whose relationship graph (4 hops from a
+// symptom VM) has on the order of `apps * 60` entities.
+enterprise::Topology make_env(std::size_t apps, std::size_t slices) {
+  enterprise::TopologyOptions topt;
+  topt.num_apps = apps;
+  topt.hosts = std::max<std::size_t>(4, apps);
+  topt.tors = 2;
+  topt.ports_per_tor = 8;
+  topt.datastores = 3;
+  topt.seed = 5;
+  auto topo = enterprise::generate_topology(topt);
+  enterprise::DynamicsOptions dopt;
+  dopt.slices = slices;
+  dopt.seed = 6;
+  enterprise::generate_dynamics(topo, {}, dopt);
+  return topo;
+}
+
+void BM_OnlineTraining(benchmark::State& state) {
+  const std::size_t apps = static_cast<std::size_t>(state.range(0));
+  const std::size_t slices = static_cast<std::size_t>(state.range(1));
+  const auto topo = make_env(apps, slices);
+  const std::vector<EntityId> seeds{topo.vms[0]};
+  const auto graph = graph::RelationshipGraph::build(topo.db, seeds, 4);
+  const core::MetricSpace space(topo.db, graph);
+  for (auto _ : state) {
+    core::FactorTrainingOptions opts;
+    const core::FactorSet factors(topo.db, graph, space, 0, slices, opts);
+    benchmark::DoNotOptimize(&factors);
+  }
+  state.counters["entities"] = static_cast<double>(graph.node_count());
+  state.counters["vars"] = static_cast<double>(space.size());
+  state.counters["T"] = static_cast<double>(slices);
+}
+
+void BM_CounterfactualEvaluation(benchmark::State& state) {
+  const std::size_t rounds = static_cast<std::size_t>(state.range(0));
+  const auto topo = make_env(6, 168);
+  const std::vector<EntityId> seeds{topo.vms[0]};
+  const auto graph = graph::RelationshipGraph::build(topo.db, seeds, 4);
+  const core::MetricSpace space(topo.db, graph);
+  core::FactorTrainingOptions topts;
+  const core::FactorSet factors(topo.db, graph, space, 0, 168, topts);
+  const auto state_vec = space.snapshot(topo.db, 167);
+
+  // Candidate: the in-graph flow farthest from the symptom VM that still
+  // reaches it (so the sampler resamples a real multi-hop subgraph).
+  const auto sym = *graph.index_of(topo.vms[0]);
+  const auto dist_to_sym = graph.distances_to(sym);
+  graph::NodeIndex cand = sym;
+  std::size_t best = 0;
+  for (graph::NodeIndex n = 0; n < graph.node_count(); ++n) {
+    if (topo.db.entity(graph.entity_of(n)).type !=
+        telemetry::EntityType::kFlow)
+      continue;
+    if (dist_to_sym[n] == graph::kUnreachable) continue;
+    if (dist_to_sym[n] > best) {
+      best = dist_to_sym[n];
+      cand = n;
+    }
+  }
+  const auto sym_var = space.vars_of(sym)[0];
+  const auto cand_var = space.vars_of(cand)[0];
+
+  core::SamplerOptions sopts;
+  sopts.gibbs_rounds = rounds;
+  sopts.num_samples = 100;
+  core::CounterfactualSampler sampler(graph, space, factors, sopts);
+  for (auto _ : state) {
+    auto verdict = sampler.evaluate(cand, cand_var, sym, sym_var, state_vec,
+                                    true);
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["W"] = static_cast<double>(rounds);
+  state.counters["entities"] = static_cast<double>(graph.node_count());
+}
+
+void BM_EndToEndDiagnosis(benchmark::State& state) {
+  const std::size_t apps = static_cast<std::size_t>(state.range(0));
+  const auto topo = make_env(apps, 168);
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 100;
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &topo.db;
+  req.symptom_entity = topo.vms[0];
+  req.symptom_metric = "cpu_util";
+  req.now = 167;
+  req.train_begin = 0;
+  req.train_end = 168;
+  for (auto _ : state) {
+    auto result = murphy.diagnose(req);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["db_entities"] = static_cast<double>(topo.entity_count());
+}
+
+}  // namespace
+
+// Training cost ~ (N+M) * T: sweep graph size and history length.
+BENCHMARK(BM_OnlineTraining)
+    ->Args({2, 168})
+    ->Args({6, 168})
+    ->Args({12, 168})
+    ->Args({6, 84})
+    ->Args({6, 336})
+    ->Unit(benchmark::kMillisecond);
+
+// Inference cost ~ (N+M) * W: sweep Gibbs rounds.
+BENCHMARK(BM_CounterfactualEvaluation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_EndToEndDiagnosis)
+    ->Arg(2)
+    ->Arg(6)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table 1 — false positives on the 13-incident enterprise dataset (§6.2).
+//
+// Every scheme is first recall-calibrated on the two calibration incidents
+// (2 and 13, the ones with certain ground truth), then its per-incident
+// false positives are counted against the operator-decided ground truth.
+// Sage cannot model this environment (no causal DAG) and is reported N/A.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/enterprise/incidents.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/eval/tables.h"
+
+using namespace murphy;
+
+int main() {
+  bench::print_header(
+      "Table 1: false positives on 13 enterprise incidents",
+      "avg FPs — Murphy 4.9, NetMedic 23.2 (4.7x), ExplainIt 32.3 (6.6x); "
+      "Sage inapplicable (needs causal DAG)");
+
+  enterprise::IncidentDatasetOptions opts;
+  if (!bench::full_scale()) {
+    opts.topology.num_apps = 8;
+    opts.topology.hosts = 12;
+    opts.topology.tors = 3;
+    opts.topology.ports_per_tor = 8;
+    opts.topology.datastores = 4;
+    opts.dynamics.slices = 168;  // one week at 1 h
+  }
+  std::fprintf(stderr, "building 13 incidents...\n");
+  const auto dataset = enterprise::make_incident_dataset(opts);
+
+  auto schemes = bench::make_schemes(11);
+  std::vector<core::Diagnoser*> comparable{
+      schemes.murphy.get(), schemes.netmedic.get(), schemes.explainit.get()};
+
+  // Sage sanity check: it must refuse this environment.
+  {
+    const auto sage_result =
+        schemes.sage->diagnose(eval::request_for(dataset[0]));
+    std::printf("Sage on incident 1: %zu candidates (expected 0 — no causal "
+                "DAG available)\n\n",
+                sage_result.causes.size());
+  }
+
+  // Recall calibration on the certain-ground-truth incidents (§6.2 fn. 9).
+  std::vector<const enterprise::EnterpriseIncident*> calibration;
+  for (const auto& inc : dataset)
+    if (inc.calibration) calibration.push_back(&inc);
+  std::vector<double> floors;
+  for (auto* s : comparable) {
+    floors.push_back(eval::calibrate_score_floor(*s, calibration));
+    std::fprintf(stderr, "calibrated %s score floor=%g\n",
+                 std::string(s->name()).c_str(), floors.back());
+  }
+
+  eval::Table table({"incident (observed problem)", "murphy FPs",
+                     "netmedic FPs", "explainit FPs"});
+  std::vector<double> total(comparable.size(), 0.0);
+  std::vector<double> recall_sum(comparable.size(), 0.0);
+  std::vector<double> raw_recall_sum(comparable.size(), 0.0);
+  for (const auto& inc : dataset) {
+    std::vector<std::string> cells{std::to_string(inc.number) + ". " +
+                                   inc.description};
+    for (std::size_t s = 0; s < comparable.size(); ++s) {
+      const auto raw = comparable[s]->diagnose(eval::request_for(inc));
+      raw_recall_sum[s] +=
+          eval::score_result(raw, inc.ground_truth).rank > 0 ? 1.0 : 0.0;
+      const auto result = eval::filtered_by_score(raw, floors[s]);
+      const auto outcome = eval::score_result(result, inc.ground_truth);
+      cells.push_back(std::to_string(outcome.false_positives));
+      total[s] += static_cast<double>(outcome.false_positives);
+      recall_sum[s] += outcome.rank > 0 ? 1.0 : 0.0;
+    }
+    table.add_row(std::move(cells));
+    std::fprintf(stderr, "  incident %d done\n", inc.number);
+  }
+  std::vector<std::string> avg{"Average false positives"};
+  for (const double t : total) avg.push_back(format_double(t / 13.0, 1));
+  table.add_row(std::move(avg));
+  std::vector<std::string> rec{"(recall, calibrated)"};
+  for (const double r : recall_sum) rec.push_back(format_double(r / 13.0, 2));
+  table.add_row(std::move(rec));
+  std::vector<std::string> raw_rec{"(recall, uncalibrated)"};
+  for (const double r : raw_recall_sum)
+    raw_rec.push_back(format_double(r / 13.0, 2));
+  table.add_row(std::move(raw_rec));
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: murphy's average FPs several-fold lower than "
+              "netmedic/explainit at comparable recall (paper: 4.7x / 6.6x); "
+              "schemes' recall within a similar band (paper: 0.53-0.56)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation section. Absolute numbers differ (the substrate is a simulator,
+// not the authors' testbed); what must hold is the *shape*: which scheme
+// wins, by roughly what factor, and where crossovers fall. Each binary
+// prints the paper's reported values alongside the measured ones.
+//
+// MURPHY_BENCH_SCALE=quick|full (default quick) controls workload sizes so
+// the whole suite runs in minutes on one core; "full" approaches the paper's
+// scenario counts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/explainit.h"
+#include "src/baselines/netmedic.h"
+#include "src/baselines/sage.h"
+#include "src/core/murphy.h"
+
+namespace murphy::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("MURPHY_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+// Scales a scenario count: `quick` in quick mode, `full` otherwise.
+inline std::size_t scaled(std::size_t quick, std::size_t full) {
+  return full_scale() ? full : quick;
+}
+
+struct SchemeSet {
+  std::unique_ptr<core::MurphyDiagnoser> murphy;
+  std::unique_ptr<baselines::Sage> sage;
+  std::unique_ptr<baselines::NetMedic> netmedic;
+  std::unique_ptr<baselines::ExplainIt> explainit;
+
+  std::vector<core::Diagnoser*> all() {
+    return {murphy.get(), sage.get(), netmedic.get(), explainit.get()};
+  }
+};
+
+// Constructs all four schemes with bench-appropriate sampling effort.
+inline SchemeSet make_schemes(std::uint64_t seed = 1) {
+  SchemeSet s;
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = full_scale() ? 500 : 150;
+  mopts.seed = seed;
+  s.murphy = std::make_unique<core::MurphyDiagnoser>(mopts);
+  baselines::SageOptions sopts;
+  sopts.seed = seed;
+  s.sage = std::make_unique<baselines::Sage>(sopts);
+  s.netmedic = std::make_unique<baselines::NetMedic>();
+  s.explainit = std::make_unique<baselines::ExplainIt>();
+  return s;
+}
+
+inline void print_header(const char* experiment, const char* paper_summary) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_summary);
+  std::printf("scale: %s (set MURPHY_BENCH_SCALE=full for paper-sized runs)\n",
+              full_scale() ? "full" : "quick");
+  std::printf("==================================================================\n\n");
+}
+
+}  // namespace murphy::bench

@@ -1,0 +1,80 @@
+// What-if performance reasoning (§7, "Using Murphy for performance
+// reasoning"): the counterfactual machinery can answer questions beyond
+// diagnosis — here, "how would the backend's CPU change if the frontend's
+// inbound traffic doubled / halved?", evaluated by pinning the flow's
+// throughput to hypothetical values and resampling the path to the backend.
+#include <cstdio>
+
+#include "src/core/factor_model.h"
+#include "src/core/metric_space.h"
+#include "src/core/sampler.h"
+#include "src/enterprise/dynamics.h"
+#include "src/enterprise/topology.h"
+#include "src/stats/summary.h"
+#include "src/telemetry/metric_catalog.h"
+
+using namespace murphy;
+
+int main() {
+  // A healthy enterprise environment (no incident).
+  enterprise::TopologyOptions topt;
+  topt.num_apps = 8;
+  topt.hosts = 12;
+  topt.tors = 2;
+  topt.seed = 3;
+  auto topo = enterprise::generate_topology(topt);
+  enterprise::DynamicsOptions dopt;
+  dopt.slices = 336;
+  enterprise::generate_dynamics(topo, {}, dopt);
+  const auto& db = topo.db;
+
+  // Question: for the first app's first intra-app flow, what happens to the
+  // destination VM's CPU if that flow's throughput changes?
+  const auto& flow = topo.flows.front();
+  const EntityId dst_vm = topo.vms[flow.dst_vm];
+  std::printf("what-if subject: flow '%s' -> vm '%s'\n",
+              db.entity(flow.id).name.c_str(),
+              db.entity(dst_vm).name.c_str());
+
+  const std::vector<EntityId> seeds{dst_vm};
+  const auto graph = graph::RelationshipGraph::build(db, seeds, 3);
+  const core::MetricSpace space(db, graph);
+  core::FactorTrainingOptions topts;
+  const core::FactorSet factors(db, graph, space, 0, 336, topts);
+
+  const auto m_thr = db.catalog().find(telemetry::metrics::kThroughput);
+  const auto m_cpu = db.catalog().find(telemetry::metrics::kCpuUtil);
+  const auto flow_var = *space.find(flow.id, m_thr);
+  const auto cpu_var = *space.find(dst_vm, m_cpu);
+  const auto flow_node = *graph.index_of(flow.id);
+  const auto vm_node = *graph.index_of(dst_vm);
+
+  const auto state = space.snapshot(db, 335);
+  const double thr_now = state[flow_var];
+  const double cpu_now = state[cpu_var];
+  std::printf("current: throughput %.1f MB/s, dst cpu %.1f%%\n\n", thr_now,
+              cpu_now);
+
+  core::SamplerOptions sopts;
+  sopts.num_samples = 64;
+  const auto path = graph.shortest_path_subgraph(flow_node, vm_node, 2);
+
+  std::printf("%-28s %s\n", "hypothetical throughput", "predicted dst cpu");
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::CounterfactualSampler sampler(graph, space, factors, sopts);
+    Rng rng(11);
+    stats::OnlineStats cpu_pred;
+    for (int i = 0; i < 64; ++i) {
+      auto work = state;
+      work[flow_var] = thr_now * factor;
+      cpu_pred.add(sampler.resample_path(path, cpu_var, work, rng, 4));
+    }
+    std::printf("%6.1f MB/s (%4.2fx)          %.1f%% (+/- %.1f)\n",
+                thr_now * factor, factor, cpu_pred.mean(),
+                cpu_pred.stddev());
+  }
+  std::printf("\nthe learned MRF predicts a monotone load->cpu response; the "
+              "same machinery answers capacity questions like \"what if we "
+              "doubled this tier's traffic?\" (paper §7)\n");
+  return 0;
+}

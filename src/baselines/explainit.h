@@ -1,0 +1,39 @@
+// ExplainIt-style baseline (Jeyakumar et al., SIGMOD '19, as used in the
+// paper's comparisons): rank candidate root causes by the pairwise
+// correlation between their metrics and the problematic symptom metric. No
+// topological reasoning — which is precisely the weakness the paper's
+// evaluation exposes (nearby, highly-correlated entities dominate the
+// ranking regardless of causal plausibility).
+#pragma once
+
+#include "src/core/diagnosis.h"
+
+namespace murphy::baselines {
+
+struct ExplainItOptions {
+  // Correlation window: the trailing fraction of the training range used
+  // for correlation (ExplainIt correlates over the queried interval).
+  double window_fraction = 1.0;
+  // Minimum |correlation| for an entity to be reported at all. Calibrated
+  // per-experiment (§6.2 calibrates every scheme for equal recall).
+  double min_correlation = 0.1;
+  // Share Murphy's pruned candidate search space (the paper grants this to
+  // all reference schemes; it improved their accuracy).
+  bool use_pruned_search_space = true;
+};
+
+class ExplainIt final : public core::Diagnoser {
+ public:
+  explicit ExplainIt(ExplainItOptions opts = {});
+
+  [[nodiscard]] core::DiagnosisResult diagnose(
+      const core::DiagnosisRequest& request) override;
+  [[nodiscard]] std::string_view name() const override { return "explainit"; }
+
+  ExplainItOptions& mutable_options() { return opts_; }
+
+ private:
+  ExplainItOptions opts_;
+};
+
+}  // namespace murphy::baselines

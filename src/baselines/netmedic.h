@@ -1,0 +1,49 @@
+// NetMedic-style baseline (Kandula et al., SIGCOMM '09, as re-implemented
+// for the paper's comparisons — the original code is not public).
+//
+// NetMedic ranks candidates over a dependency graph with fixed heuristics:
+//  * per-entity abnormality from historical metric statistics;
+//  * edge weights from the co-movement of neighbor metrics in history,
+//    dampened when the source currently looks normal;
+//  * path score = geometric mean of edge weights along the best path from
+//    candidate to the affected entity;
+//  * final score = path score * global impact (how much of the graph the
+//    candidate plausibly affects).
+// The paper finds these fixed heuristics brittle; this implementation keeps
+// their structure faithfully so the comparison is meaningful.
+#pragma once
+
+#include "src/core/diagnosis.h"
+
+namespace murphy::baselines {
+
+struct NetMedicOptions {
+  // Minimum score for a candidate to be reported; calibration knob (§6.2).
+  double min_score = 0.05;
+  // Abnormality saturation: z-scores are squashed by z / (z + this).
+  double abnormality_scale = 2.0;
+  bool use_pruned_search_space = true;
+  // Edge-weight computation. True = the original NetMedic mechanism: find
+  // history windows where the source's state resembles its current state
+  // and score how closely the destination tracked its own current state in
+  // those windows. False = a cheaper co-abnormality correlation.
+  bool use_state_similarity = true;
+  // Number of most-similar historical slices considered per edge.
+  std::size_t similar_slices = 10;
+};
+
+class NetMedic final : public core::Diagnoser {
+ public:
+  explicit NetMedic(NetMedicOptions opts = {});
+
+  [[nodiscard]] core::DiagnosisResult diagnose(
+      const core::DiagnosisRequest& request) override;
+  [[nodiscard]] std::string_view name() const override { return "netmedic"; }
+
+  NetMedicOptions& mutable_options() { return opts_; }
+
+ private:
+  NetMedicOptions opts_;
+};
+
+}  // namespace murphy::baselines

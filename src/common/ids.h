@@ -1,0 +1,78 @@
+// Strong identifier types shared across the Murphy libraries.
+//
+// Entities, metrics and applications are referred to by small integer handles
+// everywhere in the system. Wrapping them in distinct types prevents the
+// classic bug of passing an entity index where a metric index is expected,
+// at zero runtime cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace murphy {
+
+// CRTP-less strong alias over an integral handle. `Tag` makes instantiations
+// distinct types; the underlying value is accessible for container indexing.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct EntityTag {};
+struct AppTag {};
+struct MetricTag {};
+
+// Handle of one entity (VM, host, flow, container, service, ...).
+using EntityId = StrongId<EntityTag>;
+// Handle of one application (a tagged group of entities).
+using AppId = StrongId<AppTag>;
+// Index of a metric *kind* (e.g. "cpu_util") in the metric catalog.
+using MetricKindId = StrongId<MetricTag>;
+
+// A fully-qualified metric variable: one metric kind of one entity. This is
+// the unit the MRF reasons over ("the CPU utilization of VM 17").
+struct MetricRef {
+  EntityId entity;
+  MetricKindId kind;
+
+  friend constexpr bool operator==(const MetricRef&, const MetricRef&) =
+      default;
+  friend constexpr auto operator<=>(const MetricRef&, const MetricRef&) =
+      default;
+};
+
+}  // namespace murphy
+
+template <typename Tag>
+struct std::hash<murphy::StrongId<Tag>> {
+  std::size_t operator()(murphy::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<murphy::MetricRef> {
+  std::size_t operator()(const murphy::MetricRef& m) const noexcept {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(m.entity.value()) << 32) | m.kind.value();
+    return std::hash<std::uint64_t>{}(packed);
+  }
+};

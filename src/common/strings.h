@@ -1,0 +1,24 @@
+// Small string helpers used for report formatting and entity naming.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace murphy {
+
+// "vm-web-03" style join of parts with the given separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+// Fixed-precision decimal rendering, e.g. format_double(0.8617, 2) == "0.86".
+[[nodiscard]] std::string format_double(double v, int decimals);
+
+// Left-pad/truncate to a column width; used by the bench table printers.
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace murphy

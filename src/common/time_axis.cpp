@@ -1,0 +1,36 @@
+#include "src/common/time_axis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace murphy {
+
+TimeAxis::TimeAxis(double start_epoch_seconds, double interval_seconds,
+                   std::size_t num_slices)
+    : start_(start_epoch_seconds),
+      interval_(interval_seconds),
+      num_slices_(num_slices) {
+  assert(interval_seconds > 0.0);
+}
+
+double TimeAxis::time_of(TimeIndex i) const {
+  assert(i < num_slices_ || num_slices_ == 0);
+  return start_ + static_cast<double>(i) * interval_;
+}
+
+TimeIndex TimeAxis::index_of(double epoch_seconds) const {
+  if (num_slices_ == 0) return 0;
+  const double raw = std::floor((epoch_seconds - start_) / interval_);
+  const auto clamped =
+      std::clamp(raw, 0.0, static_cast<double>(num_slices_ - 1));
+  return static_cast<TimeIndex>(clamped);
+}
+
+TimeAxis TimeAxis::slice(TimeIndex from, TimeIndex to) const {
+  assert(from <= to && to <= num_slices_);
+  return TimeAxis(time_of(0) + static_cast<double>(from) * interval_,
+                  interval_, to - from);
+}
+
+}  // namespace murphy

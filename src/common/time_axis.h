@@ -1,0 +1,46 @@
+// Discrete time axis shared by simulators and the metric store.
+//
+// All telemetry in this system is sampled on a uniform grid: the monitoring
+// platform of the paper collects metrics in fixed intervals (minutes in the
+// enterprise, 10 s in the microservice testbeds). A TimeAxis describes such a
+// grid; indices into it ("time slices") are the only notion of time the
+// learning code ever sees.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace murphy {
+
+// Index of one time slice on a TimeAxis.
+using TimeIndex = std::size_t;
+
+class TimeAxis {
+ public:
+  TimeAxis() = default;
+  // `interval_seconds` > 0, `num_slices` may be 0 for an empty axis.
+  TimeAxis(double start_epoch_seconds, double interval_seconds,
+           std::size_t num_slices);
+
+  [[nodiscard]] double start() const { return start_; }
+  [[nodiscard]] double interval() const { return interval_; }
+  [[nodiscard]] std::size_t size() const { return num_slices_; }
+  [[nodiscard]] bool empty() const { return num_slices_ == 0; }
+
+  // Wall-clock seconds of slice i (beginning of the interval).
+  [[nodiscard]] double time_of(TimeIndex i) const;
+  // Slice containing the given wall-clock time, clamped to [0, size-1].
+  [[nodiscard]] TimeIndex index_of(double epoch_seconds) const;
+
+  // A sub-axis covering slices [from, to).
+  [[nodiscard]] TimeAxis slice(TimeIndex from, TimeIndex to) const;
+
+  friend bool operator==(const TimeAxis&, const TimeAxis&) = default;
+
+ private:
+  double start_ = 0.0;
+  double interval_ = 1.0;
+  std::size_t num_slices_ = 0;
+};
+
+}  // namespace murphy

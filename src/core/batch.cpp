@@ -1,0 +1,61 @@
+#include "src/core/batch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace murphy::core {
+
+BatchDiagnoser::BatchDiagnoser(BatchOptions opts) : opts_(opts) {}
+
+BatchResult BatchDiagnoser::diagnose_app(const telemetry::MonitoringDb& db,
+                                         AppId app, TimeIndex now,
+                                         TimeIndex train_begin,
+                                         TimeIndex train_end) {
+  SymptomFinderOptions fopts = opts_.finder;
+  fopts.history_begin = train_begin;
+  return diagnose_symptoms(db, find_symptoms(db, app, now, fopts), now,
+                           train_begin, train_end);
+}
+
+BatchResult BatchDiagnoser::diagnose_symptoms(
+    const telemetry::MonitoringDb& db, std::vector<Symptom> symptoms,
+    TimeIndex now, TimeIndex train_begin, TimeIndex train_end) {
+  BatchResult result;
+  result.symptoms = std::move(symptoms);
+
+  MurphyDiagnoser murphy(opts_.murphy);
+  std::unordered_map<EntityId, double> fused;
+  for (const Symptom& symptom : result.symptoms) {
+    DiagnosisRequest request;
+    request.db = &db;
+    request.symptom_entity = symptom.entity;
+    request.symptom_metric = symptom.metric;
+    request.now = now;
+    request.train_begin = train_begin;
+    request.train_end = train_end;
+    auto diagnosis = murphy.diagnose(request);
+
+    for (std::size_t r = 0;
+         r < diagnosis.causes.size() && r < opts_.per_symptom_top_k; ++r) {
+      // Reciprocal-rank fusion; the symptom entity itself is excluded from
+      // the merge (it is an effect here, even if self-caused cases keep it
+      // in the per-symptom list).
+      if (diagnosis.causes[r].entity == symptom.entity) continue;
+      fused[diagnosis.causes[r].entity] +=
+          1.0 / static_cast<double>(r + 1);
+    }
+    result.per_symptom.push_back(std::move(diagnosis));
+  }
+
+  result.merged.reserve(fused.size());
+  for (const auto& [entity, score] : fused)
+    result.merged.push_back(RankedRootCause{entity, score});
+  std::sort(result.merged.begin(), result.merged.end(),
+            [](const RankedRootCause& a, const RankedRootCause& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  return result;
+}
+
+}  // namespace murphy::core

@@ -1,0 +1,52 @@
+// Multi-symptom diagnosis (§3 / Appendix A.1).
+//
+// A real ticket maps to several problematic symptoms; Murphy runs its
+// inference separately per symptom and the operator wants one consolidated
+// list. BatchDiagnosis runs the symptom finder over an affected application
+// (or an explicit symptom list), diagnoses each symptom, and merges the
+// per-symptom rankings: an entity implicated for several independent
+// symptoms is a stronger suspect than one implicated once.
+#pragma once
+
+#include <map>
+
+#include "src/core/murphy.h"
+#include "src/core/symptom_finder.h"
+
+namespace murphy::core {
+
+struct BatchOptions {
+  MurphyOptions murphy;
+  SymptomFinderOptions finder;
+  // Per-symptom candidates below this rank do not contribute to the merge.
+  std::size_t per_symptom_top_k = 10;
+};
+
+struct BatchResult {
+  std::vector<Symptom> symptoms;                // what was diagnosed
+  std::vector<DiagnosisResult> per_symptom;     // parallel to `symptoms`
+  // Merged ranking: score = sum over symptoms of 1/rank (reciprocal-rank
+  // fusion), so breadth of implication beats a single high placement.
+  std::vector<RankedRootCause> merged;
+};
+
+class BatchDiagnoser {
+ public:
+  explicit BatchDiagnoser(BatchOptions opts = {});
+
+  // Finds symptoms of `app` at `now` and diagnoses each.
+  [[nodiscard]] BatchResult diagnose_app(const telemetry::MonitoringDb& db,
+                                         AppId app, TimeIndex now,
+                                         TimeIndex train_begin,
+                                         TimeIndex train_end);
+
+  // Diagnoses an explicit symptom list.
+  [[nodiscard]] BatchResult diagnose_symptoms(
+      const telemetry::MonitoringDb& db, std::vector<Symptom> symptoms,
+      TimeIndex now, TimeIndex train_begin, TimeIndex train_end);
+
+ private:
+  BatchOptions opts_;
+};
+
+}  // namespace murphy::core

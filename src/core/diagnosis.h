@@ -1,0 +1,72 @@
+// Common interface implemented by Murphy and the reference baselines.
+//
+// Every scheme consumes the same inputs (the monitoring database, one
+// problematic symptom and the time of the incident) and produces the same
+// output shape (a ranked list of candidate root-cause entities), so the
+// evaluation harness and benches can treat them interchangeably.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time_axis.h"
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::core {
+
+struct DiagnosisRequest {
+  const telemetry::MonitoringDb* db = nullptr;
+
+  // The problematic symptom (E_o, M_o).
+  EntityId symptom_entity;
+  std::string symptom_metric;
+
+  // Time slice at which the diagnosis runs (the "current" values). Training
+  // uses history in [train_begin, train_end); with online training
+  // train_end == now + 1 so the window includes in-incident points (§4.2).
+  TimeIndex now = 0;
+  TimeIndex train_begin = 0;
+  TimeIndex train_end = 0;
+
+  // Relationship-graph expansion depth from the symptom entity (§4.1).
+  std::size_t max_hops = 4;
+};
+
+struct RankedRootCause {
+  EntityId entity;
+  // Scheme-specific score; larger = more suspect. Used only for ordering.
+  double score = 0.0;
+};
+
+struct DiagnosisResult {
+  // Candidates in rank order (index 0 = top suspect).
+  std::vector<RankedRootCause> causes;
+
+  // Human-readable explanation chains (Murphy only; empty for baselines).
+  // Each chain explains causes[i] for matching i.
+  std::vector<std::string> explanations;
+
+  // Recent configuration changes around the incident (§4.2 "Edge cases"):
+  // presented alongside the metric-driven diagnosis so that problems caused
+  // by freshly spawned/migrated/resized entities are not missed. Murphy
+  // fills this from the db's config-event log; baselines leave it empty.
+  std::vector<telemetry::ConfigEvent> recent_config_changes;
+
+  // Rank (1-based) of `entity`, or 0 when absent.
+  [[nodiscard]] std::size_t rank_of(EntityId entity) const {
+    for (std::size_t i = 0; i < causes.size(); ++i)
+      if (causes[i].entity == entity) return i + 1;
+    return 0;
+  }
+};
+
+class Diagnoser {
+ public:
+  virtual ~Diagnoser() = default;
+  [[nodiscard]] virtual DiagnosisResult diagnose(
+      const DiagnosisRequest& request) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace murphy::core

@@ -1,0 +1,165 @@
+#include "src/core/explain.h"
+
+#include <deque>
+
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy::core {
+
+std::string_view label_name(EntityLabel label) {
+  switch (label) {
+    case EntityLabel::kOkay: return "okay";
+    case EntityLabel::kNonFunctional: return "non-functional";
+    case EntityLabel::kDegraded: return "degraded performance";
+    case EntityLabel::kHighDropRate: return "high drop rate";
+    case EntityLabel::kHeavyHitter: return "heavy hitter";
+  }
+  return "unknown";
+}
+
+EntityLabel label_node(const telemetry::MonitoringDb& db,
+                       const MetricSpace& space, const FactorSet& factors,
+                       graph::NodeIndex node, std::span<const double> state,
+                       const Thresholds& thresholds) {
+  namespace mk = telemetry::metrics;
+  bool degraded = false, drops = false, heavy = false, dead = false;
+  for (const VarIndex v : space.vars_of(node)) {
+    const auto name = db.catalog().name(space.var(v).kind);
+    const double value = state[v];
+    const MetricConditional& cond = factors.conditional(v);
+
+    // Non-functional: a normally busy activity metric collapsed to ~0.
+    const bool activity =
+        name == mk::kCpuUtil || name == mk::kThroughput ||
+        name == mk::kNetTx || name == mk::kNetRx || name == mk::kRequestRate;
+    if (activity && cond.hist_mean() > 5.0 && value < 0.1 * cond.hist_mean())
+      dead = true;
+
+    if (!thresholds.is_above(name, value)) continue;
+    if (name == mk::kLatency || name == mk::kRtt ||
+        name == mk::kRetransmitRatio)
+      degraded = true;
+    else if (name == mk::kPacketDrops || name == mk::kErrorRate)
+      drops = true;
+    else
+      heavy = true;  // utilization / throughput / sessions / request rate
+  }
+  if (dead) return EntityLabel::kNonFunctional;
+  if (heavy) return EntityLabel::kHeavyHitter;
+  if (drops) return EntityLabel::kHighDropRate;
+  if (degraded) return EntityLabel::kDegraded;
+  return EntityLabel::kOkay;
+}
+
+bool can_cause(EntityLabel from, EntityLabel to) {
+  using L = EntityLabel;
+  if (from == L::kOkay || to == L::kOkay) return false;
+  switch (from) {
+    case L::kHeavyHitter:
+      // Heavy hitter can overload anything: drops on NICs, load on VMs,
+      // degraded latency, crashes, and further heavy hitters downstream.
+      return true;
+    case L::kHighDropRate:
+      return to == L::kDegraded || to == L::kNonFunctional ||
+             to == L::kHighDropRate;
+    case L::kDegraded:
+      return to == L::kDegraded || to == L::kNonFunctional;
+    case L::kNonFunctional:
+      // A dead component degrades (or kills) its dependents.
+      return to == L::kDegraded || to == L::kNonFunctional;
+    case L::kOkay:
+      return false;
+  }
+  return false;
+}
+
+std::vector<graph::NodeIndex> explanation_path(
+    const graph::RelationshipGraph& graph,
+    const std::vector<EntityLabel>& labels, graph::NodeIndex root,
+    graph::NodeIndex symptom) {
+  // BFS over edges whose endpoints' labels satisfy can_cause.
+  const auto bfs = [&](bool respect_labels) -> std::vector<graph::NodeIndex> {
+    std::vector<graph::NodeIndex> parent(graph.node_count(),
+                                         graph::kUnreachable);
+    std::deque<graph::NodeIndex> queue{root};
+    parent[root] = root;
+    while (!queue.empty()) {
+      const graph::NodeIndex cur = queue.front();
+      queue.pop_front();
+      if (cur == symptom) break;
+      for (const graph::NodeIndex nb : graph.out_neighbors(cur)) {
+        if (parent[nb] != graph::kUnreachable) continue;
+        if (respect_labels && !can_cause(labels[cur], labels[nb])) continue;
+        parent[nb] = cur;
+        queue.push_back(nb);
+      }
+    }
+    if (parent[symptom] == graph::kUnreachable) return {};
+    std::vector<graph::NodeIndex> path{symptom};
+    while (path.back() != root) path.push_back(parent[path.back()]);
+    return {path.rbegin(), path.rend()};
+  };
+
+  if (root == symptom) return {root};
+  auto labeled = bfs(/*respect_labels=*/true);
+  if (!labeled.empty()) return labeled;
+  return bfs(/*respect_labels=*/false);
+}
+
+std::string render_narrative(const telemetry::MonitoringDb& db,
+                             const graph::RelationshipGraph& graph,
+                             const MetricSpace& space,
+                             const FactorSet& factors,
+                             const std::vector<EntityLabel>& labels,
+                             const std::vector<graph::NodeIndex>& path,
+                             std::span<const double> state) {
+  if (path.empty()) return "(no causal path found)";
+  std::string out;
+  for (const graph::NodeIndex n : path) {
+    const auto& info = db.entity(graph.entity_of(n));
+    const NodeAnomaly anomaly = node_anomaly(factors, space, n, state);
+    const auto& cond = factors.conditional(anomaly.driver);
+    const auto metric = db.catalog().name(space.var(anomaly.driver).kind);
+    const double value = state[anomaly.driver];
+    const double normal = std::max(std::abs(cond.robust_center()), 1e-3);
+
+    std::string verb;
+    switch (labels[n]) {
+      case EntityLabel::kHeavyHitter:
+        verb = info.type == telemetry::EntityType::kFlow ||
+                       info.type == telemetry::EntityType::kClient
+                   ? "sent heavy traffic"
+                   : "faced high load";
+        break;
+      case EntityLabel::kHighDropRate: verb = "dropped packets"; break;
+      case EntityLabel::kDegraded: verb = "slowed down"; break;
+      case EntityLabel::kNonFunctional: verb = "stopped responding"; break;
+      case EntityLabel::kOkay: verb = "was affected"; break;
+    }
+    out += std::string(telemetry::entity_type_name(info.type)) + " '" +
+           info.name + "' " + verb + " (" + std::string(metric) + " " +
+           format_double(value, 1) + ", ~" +
+           format_double(value / normal, 1) + "x normal).\n";
+  }
+  return out;
+}
+
+std::string render_explanation(const telemetry::MonitoringDb& db,
+                               const graph::RelationshipGraph& graph,
+                               const std::vector<EntityLabel>& labels,
+                               const std::vector<graph::NodeIndex>& path) {
+  if (path.empty()) return "(no causal path found)";
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const auto& info = db.entity(graph.entity_of(path[i]));
+    if (i > 0) out += " -> ";
+    out += std::string(telemetry::entity_type_name(info.type)) + " '" +
+           info.name + "' (" + std::string(label_name(labels[path[i]])) + ")";
+  }
+  return out;
+}
+
+}  // namespace murphy::core

@@ -1,0 +1,68 @@
+// Human-readable explanations (§4.3).
+//
+// Each entity is labeled from its current metrics and the conservative
+// thresholds: Non-functional, Degraded performance, High drop rate,
+// Heavy hitter, or Okay. A small state machine (Fig. 4) encodes which label
+// can cause which ("a heavy-hitter flow can cause high load on a VM"), and
+// a chain from root cause to symptom is traced so that every step respects
+// the causal rules. Labeling never changes the diagnosis itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/anomaly.h"
+#include "src/core/factor_model.h"
+#include "src/core/metric_space.h"
+#include "src/core/thresholds.h"
+
+namespace murphy::core {
+
+enum class EntityLabel {
+  kOkay,
+  kNonFunctional,
+  kDegraded,
+  kHighDropRate,
+  kHeavyHitter,
+};
+
+[[nodiscard]] std::string_view label_name(EntityLabel label);
+
+// Labels one node from its current metrics (thresholds) and its history
+// (collapse detection for Non-functional).
+[[nodiscard]] EntityLabel label_node(const telemetry::MonitoringDb& db,
+                                     const MetricSpace& space,
+                                     const FactorSet& factors,
+                                     graph::NodeIndex node,
+                                     std::span<const double> state,
+                                     const Thresholds& thresholds);
+
+// The causal state machine of Fig. 4: can `from`'s condition cause `to`'s?
+[[nodiscard]] bool can_cause(EntityLabel from, EntityLabel to);
+
+// Traces a path root -> ... -> symptom whose every hop respects can_cause
+// (intermediate nodes must not be Okay). Falls back to the plain shortest
+// path when no labeled path exists. Returns node indices including both
+// endpoints; empty when symptom is unreachable from root.
+[[nodiscard]] std::vector<graph::NodeIndex> explanation_path(
+    const graph::RelationshipGraph& graph,
+    const std::vector<EntityLabel>& labels, graph::NodeIndex root,
+    graph::NodeIndex symptom);
+
+// Renders "entity A (heavy hitter) -> entity B (degraded) -> ..." text.
+[[nodiscard]] std::string render_explanation(
+    const telemetry::MonitoringDb& db, const graph::RelationshipGraph& graph,
+    const std::vector<EntityLabel>& labels,
+    const std::vector<graph::NodeIndex>& path);
+
+// Renders the narrative form shown in the paper's Fig. 2 — one sentence per
+// hop with the driving metric and its deviation, e.g.
+//   "flow 'crawler->fe' sent heavy traffic (throughput 92.1, ~14x normal)."
+//   "vm 'backend-3' faced high load (cpu_util 94.0, ~6x normal)."
+[[nodiscard]] std::string render_narrative(
+    const telemetry::MonitoringDb& db, const graph::RelationshipGraph& graph,
+    const MetricSpace& space, const FactorSet& factors,
+    const std::vector<EntityLabel>& labels,
+    const std::vector<graph::NodeIndex>& path, std::span<const double> state);
+
+}  // namespace murphy::core

@@ -1,0 +1,131 @@
+#include "src/core/factor_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/stats/correlation.h"
+#include "src/stats/ridge.h"
+#include "src/stats/summary.h"
+
+namespace murphy::core {
+
+MetricConditional::MetricConditional(VarIndex target,
+                                     std::vector<VarIndex> features,
+                                     std::unique_ptr<stats::Predictor> model,
+                                     double hist_mean, double hist_sigma)
+    : target_(target),
+      features_(std::move(features)),
+      model_(std::move(model)),
+      hist_mean_(hist_mean),
+      hist_sigma_(hist_sigma) {
+  feature_buf_.resize(features_.size());
+}
+
+double MetricConditional::predict(std::span<const double> state) const {
+  if (features_.empty() || model_ == nullptr) return hist_mean_;
+  for (std::size_t i = 0; i < features_.size(); ++i)
+    feature_buf_[i] = state[features_[i]];
+  return model_->predict(feature_buf_);
+}
+
+double MetricConditional::sample(std::span<const double> state,
+                                 Rng& rng) const {
+  const double mu = predict(state);
+  const double sigma = model_ ? model_->residual_sigma() : hist_sigma_;
+  return mu + sigma * rng.normal();
+}
+
+FactorSet::FactorSet(const telemetry::MonitoringDb& db,
+                     const graph::RelationshipGraph& graph,
+                     const MetricSpace& space, TimeIndex train_begin,
+                     TimeIndex train_end, const FactorTrainingOptions& opts) {
+  assert(train_end > train_begin);
+  const std::size_t n_rows = train_end - train_begin;
+  conditionals_.resize(space.size());
+
+  // Pre-fetch every variable's history once.
+  std::vector<std::vector<double>> hist(space.size());
+  for (VarIndex v = 0; v < space.size(); ++v)
+    hist[v] = space.history(db, v, train_begin, train_end);
+
+  Rng seed_rng(opts.seed);
+
+  for (VarIndex target = 0; target < space.size(); ++target) {
+    const auto& tvar = space.var(target);
+    const auto& y = hist[target];
+    const double mu = stats::mean(y);
+    const double sigma = stats::stddev(y);
+
+    // Candidate features: all metrics of in-neighbor nodes (the in_nbrs(v)
+    // of the factor definition), plus the entity's OTHER own metrics, which
+    // the paper's P_v(v | ...) treats jointly.
+    std::vector<std::pair<double, VarIndex>> scored;
+    auto consider = [&](VarIndex f) {
+      if (f == target) return;
+      const double c = std::abs(stats::pearson(hist[f], y));
+      if (c > 0.05) scored.emplace_back(c, f);
+    };
+    for (const graph::NodeIndex nb : graph.in_neighbors(tvar.node))
+      for (const VarIndex f : space.vars_of(nb)) consider(f);
+    for (const VarIndex f : space.vars_of(tvar.node)) consider(f);
+
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;  // deterministic tiebreak
+    });
+    if (scored.size() > opts.top_b) scored.resize(opts.top_b);
+
+    std::vector<VarIndex> features;
+    features.reserve(scored.size());
+    for (const auto& [c, f] : scored) features.push_back(f);
+
+    std::unique_ptr<stats::Predictor> model;
+    double mase_err = 0.0;
+    if (!features.empty()) {
+      stats::Matrix x(n_rows, features.size());
+      for (std::size_t r = 0; r < n_rows; ++r)
+        for (std::size_t c = 0; c < features.size(); ++c)
+          x.at(r, c) = hist[features[c]][r];
+      stats::PredictorOptions popts = opts.predictor;
+      popts.seed = seed_rng();
+      model = stats::make_predictor(opts.model, popts);
+      if (opts.recency_half_life > 0.0 &&
+          opts.model == stats::ModelKind::kRidge) {
+        stats::Vector weights(n_rows);
+        for (std::size_t r = 0; r < n_rows; ++r)
+          weights[r] = std::pow(
+              0.5, static_cast<double>(n_rows - 1 - r) /
+                       opts.recency_half_life);
+        static_cast<stats::RidgeRegression*>(model.get())
+            ->fit_weighted(x, y, weights);
+      } else {
+        model->fit(x, y);
+      }
+
+      // Training-error MASE for the Fig. 8a comparison.
+      std::vector<double> preds(n_rows);
+      std::vector<double> row(features.size());
+      for (std::size_t r = 0; r < n_rows; ++r) {
+        for (std::size_t c = 0; c < features.size(); ++c)
+          row[c] = x.at(r, c);
+        preds[r] = model->predict(row);
+      }
+      mase_err = stats::mase(preds, y);
+    }
+
+    auto cond = std::make_unique<MetricConditional>(
+        target, std::move(features), std::move(model), mu, sigma);
+    cond->set_training_mase(mase_err);
+    cond->set_robust(stats::median(y), stats::mad_sigma(y));
+    conditionals_[target] = std::move(cond);
+  }
+}
+
+void FactorSet::resample_node(graph::NodeIndex node, const MetricSpace& space,
+                              std::vector<double>& state, Rng& rng) const {
+  for (const VarIndex v : space.vars_of(node))
+    state[v] = conditionals_[v]->sample(state, rng);
+}
+
+}  // namespace murphy::core

@@ -1,0 +1,110 @@
+// Per-entity factors P_v of the MRF (§4.2, "Model" and "Model training").
+//
+// Each factor relates one metric of entity v in a time slice to the metrics
+// of v's in-neighbors in the same slice. Following the paper: the top B = 10
+// neighbor metrics are selected by correlation (the "one in ten" rule), a
+// ridge regression (by default; the model family is pluggable per Fig. 8a)
+// is fit on the training window, and the Gaussian residual sigma makes the
+// conditional a sampling distribution rather than a point predictor.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/metric_space.h"
+#include "src/stats/predictor.h"
+
+namespace murphy::core {
+
+// The learned conditional for ONE variable (one metric of one entity).
+class MetricConditional {
+ public:
+  MetricConditional(VarIndex target, std::vector<VarIndex> features,
+                    std::unique_ptr<stats::Predictor> model,
+                    double hist_mean, double hist_sigma);
+
+  [[nodiscard]] VarIndex target() const { return target_; }
+  [[nodiscard]] std::span<const VarIndex> features() const {
+    return features_;
+  }
+
+  // Expected value given the current state.
+  [[nodiscard]] double predict(std::span<const double> state) const;
+  // Draw from N(predict(state), residual_sigma).
+  [[nodiscard]] double sample(std::span<const double> state, Rng& rng) const;
+
+  // Historical marginal statistics over the training window. Two flavors:
+  // classic mean/stddev (used for the counterfactual magnitude — "2 standard
+  // deviations away" of *recent* behavior, incident included), and robust
+  // median/MAD (used for anomaly scoring and labeling, so that the incident
+  // points inside the online-training window don't mask their own anomaly).
+  [[nodiscard]] double hist_mean() const { return hist_mean_; }
+  [[nodiscard]] double hist_sigma() const { return hist_sigma_; }
+  [[nodiscard]] double robust_center() const { return robust_center_; }
+  [[nodiscard]] double robust_sigma() const { return robust_sigma_; }
+  void set_robust(double center, double sigma) {
+    robust_center_ = center;
+    robust_sigma_ = sigma;
+  }
+  [[nodiscard]] double residual_sigma() const {
+    return model_->residual_sigma();
+  }
+  // Training prediction error, for the Fig. 8a model comparison (MASE).
+  [[nodiscard]] double training_mase() const { return training_mase_; }
+  void set_training_mase(double m) { training_mase_ = m; }
+
+ private:
+  VarIndex target_;
+  std::vector<VarIndex> features_;
+  std::unique_ptr<stats::Predictor> model_;
+  double hist_mean_;
+  double hist_sigma_;
+  double robust_center_ = 0.0;
+  double robust_sigma_ = 0.0;
+  double training_mase_ = 0.0;
+  mutable std::vector<double> feature_buf_;  // scratch, avoids allocation
+};
+
+struct FactorTrainingOptions {
+  // Top-B neighbor metrics by |Pearson correlation| ("one in ten" rule).
+  std::size_t top_b = 10;
+  stats::ModelKind model = stats::ModelKind::kRidge;
+  // Telemetry features are heavily collinear (a service's request rate, its
+  // container's CPU and its client's load all co-move); substantial ridge
+  // regularization spreads weight across the collinear group instead of
+  // letting sign-flipped pairs cancel, which would invert counterfactuals.
+  stats::PredictorOptions predictor{.l2 = 25.0};
+  // Recency-weighted "offline + online" hybrid training (§7, future work):
+  // when > 0 (in slices) and the model is ridge, row r of the training
+  // window is weighted 0.5^((last - r) / half_life), so long histories
+  // inform the fit without drowning the freshest in-incident points.
+  // 0 = uniform weighting (the paper's shipped configuration).
+  double recency_half_life = 0.0;
+  std::uint64_t seed = 1;
+};
+
+// The MRF: one MetricConditional per variable, trained online.
+class FactorSet {
+ public:
+  // Trains every conditional on the window [train_begin, train_end).
+  FactorSet(const telemetry::MonitoringDb& db,
+            const graph::RelationshipGraph& graph, const MetricSpace& space,
+            TimeIndex train_begin, TimeIndex train_end,
+            const FactorTrainingOptions& opts);
+
+  [[nodiscard]] const MetricConditional& conditional(VarIndex v) const {
+    return *conditionals_[v];
+  }
+  [[nodiscard]] std::size_t size() const { return conditionals_.size(); }
+
+  // Resamples every metric of graph node `n` in place.
+  void resample_node(graph::NodeIndex node, const MetricSpace& space,
+                     std::vector<double>& state, Rng& rng) const;
+
+ private:
+  std::vector<std::unique_ptr<MetricConditional>> conditionals_;
+};
+
+}  // namespace murphy::core

@@ -1,0 +1,105 @@
+#include "src/core/murphy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/explain.h"
+
+namespace murphy::core {
+
+MurphyDiagnoser::MurphyDiagnoser(MurphyOptions opts) : opts_(opts) {}
+
+DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
+  assert(request.db != nullptr);
+  const telemetry::MonitoringDb& db = *request.db;
+  DiagnosisResult result;
+
+  // 1. Relationship graph from the symptom entity.
+  const std::vector<EntityId> seeds{request.symptom_entity};
+  const auto graph = graph::RelationshipGraph::build(
+      db, seeds, request.max_hops, opts_.max_graph_nodes);
+  const auto symptom_node = graph.index_of(request.symptom_entity);
+  if (!symptom_node) return result;
+
+  const MetricSpace space(db, graph);
+  const auto kind = db.catalog().find(request.symptom_metric);
+  if (!kind.valid()) return result;
+  const auto symptom_var = space.find(request.symptom_entity, kind);
+  if (!symptom_var) return result;
+
+  // 2. Online training on [train_begin, train_end).
+  FactorTrainingOptions topts = opts_.training;
+  topts.seed = opts_.seed;
+  const FactorSet factors(db, graph, space, request.train_begin,
+                          request.train_end, topts);
+
+  const auto state = space.snapshot(db, request.now);
+  const bool symptom_high =
+      state[*symptom_var] >=
+      factors.conditional(*symptom_var).robust_center();
+
+  // 3. Candidate pruning.
+  CandidateSearchOptions sopts = opts_.search;
+  sopts.thresholds = opts_.thresholds;
+  const auto candidates = candidate_search(db, graph, space, factors, state,
+                                           *symptom_node, sopts);
+
+  // 4. Counterfactual evaluation of each candidate.
+  SamplerOptions smp = opts_.sampler;
+  smp.seed = opts_.seed ^ 0x5EEDULL;
+  CounterfactualSampler sampler(graph, space, factors, smp);
+
+  struct Accepted {
+    graph::NodeIndex node;
+    double anomaly;
+  };
+  std::vector<Accepted> accepted;
+  for (const graph::NodeIndex cand : candidates) {
+    const NodeAnomaly anomaly = node_anomaly(factors, space, cand, state);
+    if (cand == *symptom_node) {
+      // The symptom entity itself is a root-cause candidate when its own
+      // anomaly is strong (self-inflicted problems); counterfactualizing it
+      // against itself is meaningless, so accept on anomaly alone.
+      if (anomaly.score > sopts.z_min)
+        accepted.push_back({cand, anomaly.rank_score});
+      continue;
+    }
+    const auto verdict =
+        sampler.evaluate(cand, anomaly.driver, *symptom_node, *symptom_var,
+                         state, symptom_high);
+    if (verdict.is_root_cause)
+      accepted.push_back({cand, anomaly.rank_score});
+  }
+
+  // 5. Rank by anomaly score (most anomalous first).
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Accepted& a, const Accepted& b) {
+              if (a.anomaly != b.anomaly) return a.anomaly > b.anomaly;
+              return a.node < b.node;
+            });
+
+  // 6. Labels + explanation chains.
+  std::vector<EntityLabel> labels(graph.node_count());
+  for (graph::NodeIndex n = 0; n < graph.node_count(); ++n)
+    labels[n] =
+        label_node(db, space, factors, n, state, opts_.thresholds);
+
+  for (const Accepted& a : accepted) {
+    result.causes.push_back(
+        RankedRootCause{graph.entity_of(a.node), a.anomaly});
+    const auto path = explanation_path(graph, labels, a.node, *symptom_node);
+    result.explanations.push_back(
+        render_explanation(db, graph, labels, path));
+  }
+
+  // Surface configuration changes in the recent window (~10% of the
+  // training range, i.e. the stretch that likely contains the incident).
+  const TimeIndex span = request.train_end - request.train_begin;
+  const TimeIndex recent =
+      request.now > span / 10 ? request.now - span / 10 : 0;
+  result.recent_config_changes =
+      db.config_events().in_window(recent, request.now + 1);
+  return result;
+}
+
+}  // namespace murphy::core

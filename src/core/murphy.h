@@ -1,0 +1,47 @@
+// MurphyDiagnoser — the end-to-end system of §4.
+//
+// diagnose() performs, in order:
+//   1. relationship-graph construction from the symptom entity (§4.1);
+//   2. online training of the MRF's per-entity conditionals on the request's
+//      history window (§4.2 "Model training");
+//   3. candidate pruning by threshold-guided BFS from the symptom;
+//   4. counterfactual Gibbs-variant evaluation of every candidate (§4.2
+//      "Inference algorithm") with a Welch t-test verdict;
+//   5. ranking of accepted candidates by anomaly score;
+//   6. explanation-chain generation via the label state machine (§4.3).
+#pragma once
+
+#include <memory>
+
+#include "src/core/anomaly.h"
+#include "src/core/diagnosis.h"
+#include "src/core/sampler.h"
+
+namespace murphy::core {
+
+struct MurphyOptions {
+  FactorTrainingOptions training;
+  SamplerOptions sampler;
+  CandidateSearchOptions search;
+  Thresholds thresholds;
+  // Maximum nodes in the relationship graph (§4.1's safety valve).
+  std::size_t max_graph_nodes = 100000;
+  std::uint64_t seed = 1;
+};
+
+class MurphyDiagnoser final : public Diagnoser {
+ public:
+  explicit MurphyDiagnoser(MurphyOptions opts = {});
+
+  [[nodiscard]] DiagnosisResult diagnose(
+      const DiagnosisRequest& request) override;
+  [[nodiscard]] std::string_view name() const override { return "murphy"; }
+
+  [[nodiscard]] const MurphyOptions& options() const { return opts_; }
+  MurphyOptions& mutable_options() { return opts_; }
+
+ private:
+  MurphyOptions opts_;
+};
+
+}  // namespace murphy::core

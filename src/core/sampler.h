@@ -1,0 +1,78 @@
+// The counterfactual Gibbs-variant sampler of §4.2 ("Inference algorithm").
+//
+// To test whether candidate entity A explains the symptom at entity D:
+//  1. set A's driver metric to a counterfactual value 2 sigma toward normal;
+//  2. resample every entity on the shortest-path subgraph T(A -> D) in
+//     increasing distance from A, using the learned conditionals;
+//  3. repeat step 2 for W rounds (Gibbs re-visits propagate effects around
+//     cycles);
+//  4. collect the resulting sample of D's symptom metric; repeat to build
+//     distributions d1 (counterfactual start) and d2 (factual start);
+//  5. a one-sided Welch t-test decides whether the counterfactual moved the
+//     symptom toward normal — if so, A is a root cause.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/factor_model.h"
+#include "src/core/metric_space.h"
+
+namespace murphy::core {
+
+struct SamplerOptions {
+  std::size_t gibbs_rounds = 4;   // W of the paper
+  std::size_t num_samples = 500;  // per side; the paper's prototype uses 5000
+  double significance = 0.01;     // t-test alpha
+  double counterfactual_sigmas = 2.0;
+  // Extra path length admitted into the resampled subgraph T beyond the
+  // shortest src->dst distance. Slack 2 includes the "sibling" entities (a
+  // service's container, a VM's host) whose pinned values would otherwise
+  // absorb the counterfactual through collinear features.
+  std::size_t path_slack = 2;
+  std::uint64_t seed = 1;
+};
+
+struct CounterfactualVerdict {
+  bool is_root_cause = false;
+  double p_value = 1.0;
+  double mean_factual = 0.0;        // mean of d2
+  double mean_counterfactual = 0.0; // mean of d1
+};
+
+class CounterfactualSampler {
+ public:
+  CounterfactualSampler(const graph::RelationshipGraph& graph,
+                        const MetricSpace& space, const FactorSet& factors,
+                        SamplerOptions opts);
+
+  // Evaluates candidate node A (driver variable `a_var`) against symptom
+  // variable `d_var`. `state` holds the current (incident-time) values;
+  // `symptom_high` says whether D's problem is an abnormally HIGH value
+  // (true) or LOW (false) — it sets the t-test direction.
+  [[nodiscard]] CounterfactualVerdict evaluate(graph::NodeIndex a,
+                                               VarIndex a_var,
+                                               graph::NodeIndex d,
+                                               VarIndex d_var,
+                                               std::span<const double> state,
+                                               bool symptom_high);
+
+  // One resampling pass (steps 2-3): resample nodes of `path` (excluding the
+  // first, which holds the pinned candidate value) for W rounds, returning
+  // the final value of `d_var`. Exposed for the Fig. 8b cyclic-effects
+  // experiment, which uses the raw resampler for multi-hop prediction.
+  [[nodiscard]] double resample_path(std::span<const graph::NodeIndex> path,
+                                     VarIndex d_var,
+                                     std::vector<double>& state, Rng& rng,
+                                     std::size_t gibbs_rounds) const;
+
+ private:
+  const graph::RelationshipGraph& graph_;
+  const MetricSpace& space_;
+  const FactorSet& factors_;
+  SamplerOptions opts_;
+  Rng rng_;
+};
+
+}  // namespace murphy::core

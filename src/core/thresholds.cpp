@@ -1,0 +1,26 @@
+#include "src/core/thresholds.h"
+
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy::core {
+
+bool Thresholds::is_above(std::string_view metric_name, double value) const {
+  namespace mk = telemetry::metrics;
+  if (metric_name == mk::kCpuUtil || metric_name == mk::kMemUtil ||
+      metric_name == mk::kDiskUtil || metric_name == mk::kBufferUtil ||
+      metric_name == mk::kSpaceUtil)
+    return value > util_percent;
+  if (metric_name == mk::kPacketDrops || metric_name == mk::kErrorRate)
+    return value > drop_rate;
+  if (metric_name == mk::kSessionCount) return value > flow_sessions;
+  if (metric_name == mk::kThroughput || metric_name == mk::kNetTx ||
+      metric_name == mk::kNetRx || metric_name == mk::kDiskIo)
+    return value > flow_throughput;
+  if (metric_name == mk::kLatency || metric_name == mk::kRtt)
+    return value > latency_ms;
+  if (metric_name == mk::kRequestRate) return value > request_rate;
+  if (metric_name == mk::kRetransmitRatio) return value > drop_rate;
+  return false;
+}
+
+}  // namespace murphy::core

@@ -1,0 +1,25 @@
+// The conservative metric thresholds of the paper (§5.1.1 footnote 7):
+// 25% CPU/memory/disk/port utilization, 0.1% drop rate, 50 TCP sessions or
+// 1 GB per interval for a flow. Shared by candidate pruning (§4.2) and the
+// explanation labeling scheme (§4.3).
+#pragma once
+
+#include <string_view>
+
+namespace murphy::core {
+
+struct Thresholds {
+  double util_percent = 25.0;     // cpu / mem / disk / port buffer util
+  double drop_rate = 0.1;         // % packet drops
+  double flow_sessions = 50.0;    // TCP sessions per interval
+  double flow_throughput = 8.0;   // MB/s (~1 GB per 2-minute interval)
+  double latency_ms = 50.0;       // service latency / flow RTT
+  double request_rate = 100.0;    // req/s for services & clients
+
+  // True when `value` of metric `metric_name` crosses the conservative
+  // threshold for its kind ("this metric looks busy/bad").
+  [[nodiscard]] bool is_above(std::string_view metric_name,
+                              double value) const;
+};
+
+}  // namespace murphy::core

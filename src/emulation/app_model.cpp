@@ -1,0 +1,200 @@
+#include "src/emulation/app_model.h"
+
+#include <cassert>
+#include <deque>
+
+namespace murphy::emulation {
+
+ServiceIdx AppModel::find_service(const std::string& name) const {
+  for (ServiceIdx i = 0; i < services.size(); ++i)
+    if (services[i].name == name) return i;
+  assert(false && "unknown service name");
+  return 0;
+}
+
+std::vector<double> AppModel::demand_vector(ServiceIdx entry) const {
+  // Relaxation over the call DAG: demand[callee] += demand[caller] * fanout.
+  // Call graphs here are DAGs (fan-out trees with sharing), so a fixed-point
+  // pass over edges in BFS order suffices; we iterate a few times to be safe
+  // with any ordering.
+  std::vector<double> demand(services.size(), 0.0);
+  demand[entry] = 1.0;
+  for (std::size_t iter = 0; iter < services.size(); ++iter) {
+    bool changed = false;
+    std::vector<double> next(services.size(), 0.0);
+    next[entry] = 1.0;
+    for (const CallEdge& e : call_edges)
+      next[e.callee] += demand[e.caller] * e.calls_per_request;
+    for (ServiceIdx s = 0; s < services.size(); ++s) {
+      if (next[s] != demand[s]) changed = true;
+    }
+    demand = std::move(next);
+    if (!changed) break;
+  }
+  return demand;
+}
+
+std::vector<ServiceIdx> AppModel::call_tree(ServiceIdx entry) const {
+  std::vector<bool> seen(services.size(), false);
+  std::deque<ServiceIdx> queue{entry};
+  seen[entry] = true;
+  std::vector<ServiceIdx> out;
+  while (!queue.empty()) {
+    const ServiceIdx cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    for (const CallEdge& e : call_edges) {
+      if (e.caller == cur && !seen[e.callee]) {
+        seen[e.callee] = true;
+        queue.push_back(e.callee);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Appends a service together with its dedicated container.
+ServiceIdx add_service(AppModel& app, std::string name, NodeIdx node,
+                       double base_latency_ms, double cpu_cost,
+                       double cpu_limit = 2.0) {
+  ContainerSpec c;
+  c.name = name + "-ctr";
+  c.node = node;
+  c.cpu_limit_cores = cpu_limit;
+  app.containers.push_back(c);
+
+  ServiceSpec s;
+  s.name = std::move(name);
+  s.base_latency_ms = base_latency_ms;
+  s.cpu_cost_per_req = cpu_cost;
+  s.container = app.containers.size() - 1;
+  app.services.push_back(s);
+  return app.services.size() - 1;
+}
+
+void call(AppModel& app, ServiceIdx a, ServiceIdx b, double fanout = 1.0) {
+  app.call_edges.push_back(CallEdge{a, b, fanout});
+}
+
+}  // namespace
+
+AppModel make_hotel_reservation() {
+  // 8 services modeled on DeathStarBench hotel-reservation, spread over a
+  // 7-node cluster (4-core nodes, matching §5.1.2).
+  AppModel app;
+  app.name = "hotel-reservation";
+  for (int n = 0; n < 7; ++n)
+    app.nodes.push_back(NodeSpec{"node-" + std::to_string(n), 4.0});
+
+  const auto frontend = add_service(app, "frontend", 0, 1.5, 0.002);
+  const auto search = add_service(app, "search", 1, 2.0, 0.004);
+  const auto geo = add_service(app, "geo", 2, 1.2, 0.003);
+  const auto rate = add_service(app, "rate", 3, 1.5, 0.003);
+  const auto profile = add_service(app, "profile", 4, 1.8, 0.003);
+  const auto recommend = add_service(app, "recommendation", 5, 2.2, 0.004);
+  const auto reserve = add_service(app, "reservation", 6, 2.5, 0.005);
+  const auto user = add_service(app, "user", 6, 1.0, 0.002);
+
+  call(app, frontend, search);
+  call(app, frontend, profile);
+  call(app, frontend, recommend, 0.5);
+  call(app, frontend, reserve, 0.3);
+  call(app, frontend, user, 0.8);
+  call(app, search, geo);
+  call(app, search, rate);
+  // search and recommendation share the profile/rate backends — the common
+  // downstream services exercised by the §6.1 interference scenario.
+  call(app, search, profile, 0.7);
+  call(app, recommend, profile, 0.5);
+  call(app, recommend, rate, 0.5);
+  call(app, reserve, user, 0.5);
+  return app;
+}
+
+AppModel make_social_network() {
+  // 24 services modeled on DeathStarBench social-network, all containers on
+  // one 8-core Docker host (§5.1.2); storage/cache backends get their own
+  // containers so the entity census matches the paper's 57.
+  AppModel app;
+  app.name = "social-network";
+  app.nodes.push_back(NodeSpec{"docker-host", 8.0});
+
+  auto svc = [&](const char* name, double lat, double cost) {
+    return add_service(app, name, 0, lat, cost, 1.0);
+  };
+
+  const auto nginx = svc("nginx-web", 0.8, 0.001);
+  const auto compose = svc("compose-post", 2.0, 0.003);
+  const auto home = svc("home-timeline", 1.5, 0.003);
+  const auto user_tl = svc("user-timeline", 1.5, 0.003);
+  const auto text = svc("text", 1.2, 0.002);
+  const auto media = svc("media", 2.5, 0.004);
+  const auto user_svc = svc("user", 1.0, 0.002);
+  const auto unique_id = svc("unique-id", 0.5, 0.001);
+  const auto url_shorten = svc("url-shorten", 0.8, 0.002);
+  const auto user_mention = svc("user-mention", 0.9, 0.002);
+  const auto post_storage = svc("post-storage", 1.8, 0.003);
+  const auto social_graph = svc("social-graph", 1.4, 0.003);
+  const auto write_home = svc("write-home-timeline", 1.6, 0.003);
+  const auto read_post = svc("read-post", 1.2, 0.002);
+  const auto mongo_post = svc("mongodb-post", 2.2, 0.004);
+  const auto mongo_user = svc("mongodb-user", 2.0, 0.003);
+  const auto mongo_social = svc("mongodb-social", 2.0, 0.003);
+  const auto mongo_media = svc("mongodb-media", 2.4, 0.004);
+  const auto redis_home = svc("redis-home", 0.4, 0.001);
+  const auto redis_social = svc("redis-social", 0.4, 0.001);
+  const auto memcached_post = svc("memcached-post", 0.3, 0.001);
+  const auto memcached_user = svc("memcached-user", 0.3, 0.001);
+  const auto media_frontend = svc("media-frontend", 1.0, 0.002);
+  const auto auth = svc("auth", 0.9, 0.002);
+
+  // compose-post path
+  call(app, nginx, compose, 0.4);
+  call(app, compose, unique_id);
+  call(app, compose, text);
+  call(app, compose, user_svc);
+  call(app, compose, media, 0.3);
+  call(app, compose, post_storage);
+  call(app, compose, write_home);
+  call(app, text, url_shorten, 0.5);
+  call(app, text, user_mention, 0.5);
+  call(app, write_home, social_graph);
+  call(app, write_home, redis_home);
+  call(app, post_storage, mongo_post);
+  call(app, post_storage, memcached_post, 0.7);
+  // read paths
+  call(app, nginx, home, 0.4);
+  call(app, nginx, user_tl, 0.2);
+  call(app, home, redis_home);
+  call(app, home, read_post, 0.8);
+  call(app, user_tl, mongo_user, 0.5);
+  call(app, user_tl, read_post, 0.8);
+  call(app, read_post, post_storage);
+  // auxiliary
+  call(app, user_svc, mongo_user, 0.5);
+  call(app, user_svc, memcached_user, 0.8);
+  call(app, user_svc, auth, 0.5);
+  call(app, social_graph, mongo_social, 0.5);
+  call(app, social_graph, redis_social, 0.8);
+  call(app, media, mongo_media, 0.6);
+  call(app, media, media_frontend, 0.3);
+  call(app, media_frontend, mongo_media, 0.5);
+
+  // Extra infrastructure containers without service wrappers (jaeger agent,
+  // media cache, ...) so the entity census matches the paper's 57 for this
+  // app: 24 services + 32 containers + 1 node.
+  for (const char* extra :
+       {"jaeger-agent", "media-cache", "write-ahead-log", "cfg-store",
+        "metrics-sidecar", "dns-sidecar", "log-shipper", "proxy-sidecar"}) {
+    ContainerSpec c;
+    c.name = extra;
+    c.node = 0;
+    c.cpu_limit_cores = 0.5;
+    app.containers.push_back(c);
+  }
+  return app;
+}
+
+}  // namespace murphy::emulation

@@ -1,0 +1,90 @@
+// Static description of a microservice application deployment.
+//
+// Mirrors the structure of the paper's DeathStarBench testbeds (§5.1.2):
+// services with RPC call trees, each service running in a container, the
+// containers placed on cluster nodes, and open-loop clients driving named
+// API endpoints. The simulator consumes this description; the scenario
+// builders construct the hotel-reservation and social-network instances.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace murphy::emulation {
+
+// Indices into AppModel's vectors; local to one AppModel.
+using ServiceIdx = std::size_t;
+using ContainerIdx = std::size_t;
+using NodeIdx = std::size_t;
+using ClientIdx = std::size_t;
+
+struct ServiceSpec {
+  std::string name;
+  // Service time per request at an idle server, in milliseconds.
+  double base_latency_ms = 2.0;
+  // CPU-seconds consumed per request (drives container utilization).
+  double cpu_cost_per_req = 0.004;
+  // Memory footprint: baseline fraction plus per-req/s increment.
+  double mem_base = 0.20;
+  double mem_per_rps = 0.0005;
+  ContainerIdx container = 0;
+};
+
+// A directed RPC edge: each request arriving at `caller` issues
+// `calls_per_request` requests to `callee` (fan-out may be fractional to
+// model caching / conditional calls).
+struct CallEdge {
+  ServiceIdx caller;
+  ServiceIdx callee;
+  double calls_per_request = 1.0;
+};
+
+struct ContainerSpec {
+  std::string name;
+  NodeIdx node = 0;
+  // CPU cores available to the container (its cgroup limit).
+  double cpu_limit_cores = 2.0;
+};
+
+struct NodeSpec {
+  std::string name;
+  double cpu_cores = 4.0;
+};
+
+// An open-loop client (wrk2-style) driving one entry service.
+struct ClientSpec {
+  std::string name;
+  ServiceIdx entry_service = 0;
+  // Offered requests/second per time slice; sized to the scenario length by
+  // the workload generator.
+  std::vector<double> rps_schedule;
+};
+
+struct AppModel {
+  std::string name;
+  std::vector<ServiceSpec> services;
+  std::vector<CallEdge> call_edges;
+  std::vector<ContainerSpec> containers;
+  std::vector<NodeSpec> nodes;
+  std::vector<ClientSpec> clients;
+
+  [[nodiscard]] ServiceIdx find_service(const std::string& name) const;
+  // Total downstream request multiplier: how many requests one request to
+  // `entry` induces on every service (entry included, = 1 plus indirect
+  // fan-in). Follows call edges transitively.
+  [[nodiscard]] std::vector<double> demand_vector(ServiceIdx entry) const;
+  // Services reachable from `entry` through call edges (entry included).
+  [[nodiscard]] std::vector<ServiceIdx> call_tree(ServiceIdx entry) const;
+};
+
+// The two DeathStarBench-like applications of §5.1.2.
+//
+// Hotel-reservation: 8 services on a 7-node cluster; 16 relationship-graph
+// entities (8 services + 8 containers).
+[[nodiscard]] AppModel make_hotel_reservation();
+// Social-network: 24 services on a single Docker node; 57 entities
+// (24 services + 32 containers + 1 node).
+[[nodiscard]] AppModel make_social_network();
+
+}  // namespace murphy::emulation

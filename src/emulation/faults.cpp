@@ -1,0 +1,41 @@
+#include "src/emulation/faults.h"
+
+namespace murphy::emulation {
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCpuStress: return "cpu_stress";
+    case FaultKind::kMemStress: return "mem_stress";
+    case FaultKind::kDiskStress: return "disk_stress";
+  }
+  return "unknown";
+}
+
+ContainerPressure pressure_at(const std::vector<Fault>& faults,
+                              ContainerIdx container, double cpu_limit_cores,
+                              TimeIndex t) {
+  ContainerPressure p;
+  for (const Fault& f : faults) {
+    if (f.target != container || !f.active_at(t)) continue;
+    switch (f.kind) {
+      case FaultKind::kCpuStress:
+        p.cpu_cores += f.intensity * cpu_limit_cores;
+        break;
+      case FaultKind::kMemStress:
+        p.mem_fraction += f.intensity;
+        // Memory pressure causes paging: page faults and reclaim burn a
+        // large share of the container's CPU budget, which is what makes
+        // stress-ng --vm degrade co-located request serving.
+        p.cpu_cores += 0.7 * f.intensity * cpu_limit_cores;
+        break;
+      case FaultKind::kDiskStress:
+        p.disk_mbps += f.intensity * 100.0;
+        // IO-wait and kernel block-layer work steal substantial CPU.
+        p.cpu_cores += 0.6 * f.intensity * cpu_limit_cores;
+        break;
+    }
+  }
+  return p;
+}
+
+}  // namespace murphy::emulation

@@ -1,0 +1,51 @@
+// Fault injection for the microservice simulator.
+//
+// Two families, mirroring §5.1.2:
+//  * resource contention — stress-ng-style CPU / memory / disk pressure on a
+//    chosen container for a bounded window;
+//  * performance interference — an aggressive client ramping its request
+//    rate, overwhelming downstream services shared with a victim client.
+// Interference is expressed through client RPS schedules (see workload.h);
+// this header covers the container-local resource faults.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time_axis.h"
+#include "src/emulation/app_model.h"
+
+namespace murphy::emulation {
+
+enum class FaultKind { kCpuStress, kMemStress, kDiskStress };
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind k);
+
+struct Fault {
+  FaultKind kind = FaultKind::kCpuStress;
+  ContainerIdx target = 0;
+  TimeIndex start = 0;
+  TimeIndex duration = 30;  // slices (10 s each -> 5 min default)
+  // Fraction of the container's CPU limit consumed (CPU stress), or fraction
+  // of memory filled (mem), or MB/s of disk traffic injected (disk).
+  double intensity = 0.6;
+
+  [[nodiscard]] bool active_at(TimeIndex t) const {
+    return t >= start && t < start + duration;
+  }
+};
+
+// The contention a set of faults exerts on one container at time t.
+struct ContainerPressure {
+  double cpu_cores = 0.0;   // extra cores consumed
+  double mem_fraction = 0.0;
+  double disk_mbps = 0.0;
+};
+
+[[nodiscard]] ContainerPressure pressure_at(const std::vector<Fault>& faults,
+                                            ContainerIdx container,
+                                            double cpu_limit_cores,
+                                            TimeIndex t);
+
+}  // namespace murphy::emulation

@@ -1,0 +1,87 @@
+// Failure-scenario builders for the microservice environments (§5.1.2).
+//
+// Each builder runs the simulator with a scripted fault and packages the
+// result as a DiagnosisCase: the populated MonitoringDb, the problematic
+// symptom handed to the diagnosis schemes, the ground-truth root cause, and
+// the incident window. The two families match the paper:
+//
+//  * performance interference (Fig. 5): aggressor client A ramps its request
+//    rate to an endpoint whose call tree shares downstream services with
+//    victim client B's endpoint; symptom = B's latency, root cause = A.
+//  * resource contention (Fig. 6): a stress-ng-style CPU/mem/disk fault on a
+//    randomly chosen container, with up to `prior_incidents` short-lived
+//    warm-up faults earlier in the trace; symptom = client latency, root
+//    cause = the faulted container.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/emulation/simulator.h"
+
+namespace murphy::emulation {
+
+struct DiagnosisCase {
+  std::string name;
+  telemetry::MonitoringDb db;
+  SimEntities entities;
+
+  // Problematic symptom (M_o, E_o) given to every scheme.
+  EntityId symptom_entity;
+  std::string symptom_metric;
+
+  // Operator ground truth.
+  EntityId root_cause;
+  // Entities accepted by the "relaxed" criteria of §6.1 (common services /
+  // common containers on the interference path), root cause included.
+  std::vector<EntityId> relaxed_set;
+
+  // Incident timing (slice indices).
+  TimeIndex incident_start = 0;
+  TimeIndex incident_end = 0;
+};
+
+struct InterferenceOptions {
+  double victim_rps = 20.0;
+  double aggressor_base_rps = 20.0;
+  double aggressor_high_rps = 300.0;
+  std::size_t slices = 420;
+  TimeIndex ramp_at = 300;
+  std::uint64_t seed = 1;
+  bool bidirectional_call_edges = true;
+};
+
+// Hotel-reservation interference: client A drives the "search" endpoint,
+// client B the "recommendation" endpoint; they share profile/geo/rate
+// backends through the frontend.
+[[nodiscard]] DiagnosisCase make_interference_case(
+    const InterferenceOptions& opts);
+
+// The 32-variant sweep of §6.1 (aggressor intensity varies per variant).
+[[nodiscard]] std::vector<InterferenceOptions> interference_sweep(
+    std::size_t variants, std::uint64_t seed);
+
+struct ContentionOptions {
+  enum class App { kHotelReservation, kSocialNetwork };
+  App app = App::kSocialNetwork;
+  FaultKind fault = FaultKind::kCpuStress;
+  // Chosen container; when >= #containers it is picked pseudo-randomly.
+  std::size_t target_container = SIZE_MAX;
+  double intensity = 1.2;
+  std::size_t duration_slices = 45;   // 5-10 min range in the paper
+  std::size_t prior_incidents = 4;
+  std::size_t slices = 360;           // 30-90 min workload
+  std::uint64_t seed = 1;
+  bool bidirectional_call_edges = false;  // §6.3 runs the acyclic setup
+};
+
+[[nodiscard]] DiagnosisCase make_contention_case(const ContentionOptions& opts);
+
+// Random sweep across fault kinds / intensities / locations, as in §5.1.2
+// ("more than 200 such fault scenarios across both setups").
+[[nodiscard]] std::vector<ContentionOptions> contention_sweep(
+    ContentionOptions::App app, std::size_t count, std::size_t prior_incidents,
+    std::uint64_t seed);
+
+}  // namespace murphy::emulation

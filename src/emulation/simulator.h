@@ -1,0 +1,63 @@
+// Discrete-time microservice environment simulator.
+//
+// Advances an AppModel through 10-second slices (cadvisor/Jaeger collection
+// granularity of §5.1.2), computing per-service request rates by propagating
+// client load down the call graph, per-container CPU/memory/disk pressure
+// (workload + injected faults), queueing-delay latencies with saturation,
+// and node-level CPU contention that couples co-located containers — the
+// mechanism behind both the resource-contention and performance-interference
+// failure scenarios.
+//
+// The output is a fully populated telemetry::MonitoringDb: entities for
+// clients, services, containers and nodes; loose associations between them;
+// and one time series per (entity, metric).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/emulation/app_model.h"
+#include "src/emulation/faults.h"
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::emulation {
+
+struct SimOptions {
+  std::size_t slices = 360;          // 1 hour at 10 s
+  double interval_seconds = 10.0;
+  double noise = 0.03;               // multiplicative metric noise
+  std::uint64_t seed = 1;
+  // When true (default), caller/callee associations are stored undirected —
+  // the §6.1 environment where the monitoring data carries no causal
+  // direction and the relationship graph is cyclic. When false, call edges
+  // are directed caller->callee, yielding the acyclic §6.3 environment that
+  // Sage can model.
+  bool bidirectional_call_edges = true;
+};
+
+// Handles of the simulated entities within the produced MonitoringDb.
+struct SimEntities {
+  std::vector<EntityId> services;    // parallel to AppModel::services
+  std::vector<EntityId> containers;  // parallel to AppModel::containers
+  std::vector<EntityId> nodes;       // parallel to AppModel::nodes
+  std::vector<EntityId> clients;     // parallel to AppModel::clients
+  AppId app;
+};
+
+struct SimResult {
+  telemetry::MonitoringDb db;
+  SimEntities entities;
+  // Per-slice end-to-end latency observed by each client (ms); also stored
+  // in the db, duplicated here for convenient assertions/plots.
+  std::vector<std::vector<double>> client_latency;
+  // Per-slice utilization of each container (0..~1.2, >1 = saturated).
+  std::vector<std::vector<double>> container_util;
+};
+
+// Runs the simulation. Every client's rps_schedule must have exactly
+// `opts.slices` entries.
+[[nodiscard]] SimResult simulate(const AppModel& app,
+                                 const std::vector<Fault>& faults,
+                                 const SimOptions& opts);
+
+}  // namespace murphy::emulation

@@ -1,0 +1,61 @@
+#include "src/emulation/trace_discovery.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace murphy::emulation {
+
+TraceDiscoveryResult rebuild_call_associations_from_traces(
+    const AppModel& app, const SimEntities& entities,
+    telemetry::MonitoringDb& db, const TraceDiscoveryOptions& opts,
+    Rng& rng) {
+  TraceDiscoveryResult result;
+  result.edges_true = app.call_edges.size();
+
+  // 1. Sample a corpus across all clients (one representative slice each).
+  std::vector<Trace> corpus;
+  for (ClientIdx c = 0; c < app.clients.size(); ++c) {
+    std::vector<double> idle(app.services.size(), 1.0);
+    auto traces = sample_traces(app, c, /*slice=*/0,
+                                opts.requests_per_client, idle, opts.tracing,
+                                rng);
+    corpus.insert(corpus.end(), std::make_move_iterator(traces.begin()),
+                  std::make_move_iterator(traces.end()));
+  }
+  result.traces = corpus.size();
+
+  // 2. Reconstruct the call graph.
+  const auto observed = call_graph_from_traces(corpus, app.services.size(),
+                                               opts.min_observations);
+  result.edges_observed = observed.size();
+  for (const CallEdge& e : app.call_edges) {
+    const bool found = std::any_of(
+        observed.begin(), observed.end(), [&](const ObservedCall& oc) {
+          return oc.caller == e.caller && oc.callee == e.callee;
+        });
+    if (!found) ++result.edges_missed;
+  }
+
+  // 3. Swap the db's caller/callee associations for the observed set.
+  for (std::size_t i = db.association_count(); i-- > 0;) {
+    if (db.association(i).kind == telemetry::RelationKind::kCallerCallee)
+      db.remove_association(i);
+  }
+  for (const ObservedCall& oc : observed) {
+    if (opts.bidirectional_call_edges) {
+      db.add_association(entities.services[oc.caller],
+                         entities.services[oc.callee],
+                         telemetry::RelationKind::kCallerCallee,
+                         /*directed=*/false);
+    } else {
+      // Influence order: callee -> caller (see monitoring_db.h).
+      db.add_association(entities.services[oc.callee],
+                         entities.services[oc.caller],
+                         telemetry::RelationKind::kCallerCallee,
+                         /*directed=*/true);
+    }
+  }
+  return result;
+}
+
+}  // namespace murphy::emulation

@@ -1,0 +1,42 @@
+// Call-graph discovery from traces, applied to a monitoring database.
+//
+// Real deployments do not hand the monitoring system a ground-truth call
+// graph: the caller/callee associations come from distributed-trace
+// analysis, with the flaws that entails (head sampling misses rare edges;
+// instrumentation bugs drop parents — the Table-2 "missing edge" story).
+// This module replaces a simulated db's oracle call associations with ones
+// reconstructed from a sampled trace corpus, turning the tracing pipeline
+// into the *source* of the relationship graph, as in the paper's testbeds.
+#pragma once
+
+#include "src/emulation/simulator.h"
+#include "src/emulation/tracing.h"
+
+namespace murphy::emulation {
+
+struct TraceDiscoveryOptions {
+  TracingOptions tracing;
+  // Requests sampled per client (one representative slice is traced).
+  std::size_t requests_per_client = 400;
+  // Edges observed fewer times than this are dropped, as a dashboard would.
+  std::size_t min_observations = 3;
+  // Matches SimOptions: undirected associations for the cyclic environment,
+  // directed (influence order: callee -> caller) for the DAG one.
+  bool bidirectional_call_edges = true;
+};
+
+struct TraceDiscoveryResult {
+  std::size_t traces = 0;
+  std::size_t edges_observed = 0;
+  std::size_t edges_true = 0;   // call edges in the app model
+  std::size_t edges_missed = 0; // true edges absent from the rebuilt graph
+};
+
+// Samples traces for every client of `app`, removes ALL caller/callee
+// associations from `db`, and adds the trace-observed ones. Service/container
+// and client associations are left untouched.
+TraceDiscoveryResult rebuild_call_associations_from_traces(
+    const AppModel& app, const SimEntities& entities,
+    telemetry::MonitoringDb& db, const TraceDiscoveryOptions& opts, Rng& rng);
+
+}  // namespace murphy::emulation

@@ -1,0 +1,111 @@
+#include "src/emulation/tracing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace murphy::emulation {
+namespace {
+
+// Recursively emits spans for one request arriving at `service`, returning
+// the emitted span's duration. Fan-out < 1 is interpreted as a Bernoulli
+// call probability, > 1 as floor + Bernoulli remainder.
+double emit_spans(const AppModel& app, ServiceIdx service, double start_ms,
+                  std::span<const double> latency_multiplier,
+                  const TracingOptions& opts, Rng& rng, Trace& trace,
+                  std::optional<std::size_t> parent) {
+  const std::size_t span_id = trace.spans.size();
+  trace.spans.push_back(Span{span_id, parent, service, start_ms, 0.0});
+
+  const double own = app.services[service].base_latency_ms *
+                     latency_multiplier[service] *
+                     (1.0 + std::abs(rng.normal(0.0, opts.noise)));
+  double child_total = 0.0;
+  double cursor = start_ms + own * 0.3;  // children begin mid-processing
+  for (const CallEdge& edge : app.call_edges) {
+    if (edge.caller != service) continue;
+    std::size_t calls = static_cast<std::size_t>(edge.calls_per_request);
+    const double frac = edge.calls_per_request - static_cast<double>(calls);
+    if (rng.chance(frac)) ++calls;
+    for (std::size_t k = 0; k < calls; ++k) {
+      const double child = emit_spans(app, edge.callee, cursor,
+                                      latency_multiplier, opts, rng, trace,
+                                      span_id);
+      child_total += child;
+      cursor += child;
+    }
+  }
+  const double total = own + child_total;
+  trace.spans[span_id].duration_ms = total;
+  return total;
+}
+
+}  // namespace
+
+std::vector<Trace> sample_traces(const AppModel& app, ClientIdx client,
+                                 TimeIndex slice, std::size_t requests,
+                                 std::span<const double> latency_multiplier,
+                                 const TracingOptions& opts, Rng& rng) {
+  assert(client < app.clients.size());
+  assert(latency_multiplier.size() == app.services.size());
+  std::vector<Trace> out;
+  const ServiceIdx entry = app.clients[client].entry_service;
+  for (std::size_t r = 0; r < requests; ++r) {
+    if (!rng.chance(opts.sample_rate)) continue;
+    Trace trace;
+    trace.trace_id = (static_cast<std::size_t>(slice) << 24) ^ out.size();
+    trace.client = client;
+    trace.slice = slice;
+    emit_spans(app, entry, 0.0, latency_multiplier, opts, rng, trace,
+               std::nullopt);
+    out.push_back(std::move(trace));
+  }
+  return out;
+}
+
+std::vector<ObservedCall> call_graph_from_traces(std::span<const Trace> traces,
+                                                 std::size_t num_services,
+                                                 std::size_t min_observations) {
+  // (caller, callee) -> {edge observations, parent invocations}.
+  struct Tally {
+    std::size_t calls = 0;
+    std::size_t parents = 0;
+  };
+  std::unordered_map<std::uint64_t, Tally> tallies;
+  std::vector<std::size_t> parent_invocations(num_services, 0);
+  const auto key = [](ServiceIdx a, ServiceIdx b) {
+    return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+  };
+
+  for (const Trace& trace : traces) {
+    for (const Span& span : trace.spans) {
+      assert(span.service < num_services);
+      parent_invocations[span.service] += 1;
+      if (!span.parent_span) continue;
+      const Span& parent = trace.spans[*span.parent_span];
+      tallies[key(parent.service, span.service)].calls += 1;
+    }
+  }
+
+  std::vector<ObservedCall> out;
+  for (const auto& [k, tally] : tallies) {
+    if (tally.calls < min_observations) continue;
+    ObservedCall call;
+    call.caller = static_cast<ServiceIdx>(k >> 32);
+    call.callee = static_cast<ServiceIdx>(k & 0xFFFFFFFF);
+    call.observations = tally.calls;
+    const std::size_t invocations = parent_invocations[call.caller];
+    call.mean_fanout = invocations > 0 ? static_cast<double>(tally.calls) /
+                                             static_cast<double>(invocations)
+                                       : 0.0;
+    out.push_back(call);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObservedCall& a, const ObservedCall& b) {
+              if (a.caller != b.caller) return a.caller < b.caller;
+              return a.callee < b.callee;
+            });
+  return out;
+}
+
+}  // namespace murphy::emulation

@@ -1,0 +1,73 @@
+// Request tracing for the microservice simulator (Jaeger-like, §5.1.2).
+//
+// The paper's testbeds learn the service call graph from distributed traces.
+// This module samples span trees for simulated requests — each span carries
+// the service, its parent, and a duration consistent with the simulator's
+// queueing state — and reconstructs the caller/callee graph from a trace
+// corpus. The reconstruction is what the tracing-bug degradation of Table 2
+// ("missing edge": an RPC loses its parent association) corrupts.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_axis.h"
+#include "src/emulation/app_model.h"
+
+namespace murphy::emulation {
+
+struct Span {
+  std::size_t span_id = 0;
+  std::optional<std::size_t> parent_span;  // nullopt = root span
+  ServiceIdx service = 0;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+struct Trace {
+  std::size_t trace_id = 0;
+  ClientIdx client = 0;
+  TimeIndex slice = 0;  // collection interval the request fell into
+  std::vector<Span> spans;
+
+  [[nodiscard]] const Span& root() const { return spans.front(); }
+  // End-to-end duration = root span duration.
+  [[nodiscard]] double total_ms() const { return spans.front().duration_ms; }
+};
+
+struct TracingOptions {
+  // Probability a request is sampled into the trace corpus (head sampling).
+  double sample_rate = 0.02;
+  // Per-span timing jitter.
+  double noise = 0.05;
+  std::uint64_t seed = 1;
+};
+
+// Samples traces for `requests` requests of client `client` at `slice`,
+// using per-service base latencies scaled by `latency_multiplier[s]` (the
+// simulator's queueing factor at that slice; pass 1.0s for an idle system).
+[[nodiscard]] std::vector<Trace> sample_traces(
+    const AppModel& app, ClientIdx client, TimeIndex slice,
+    std::size_t requests, std::span<const double> latency_multiplier,
+    const TracingOptions& opts, Rng& rng);
+
+// A caller->callee edge observed in traces, with its observation count and
+// mean fan-out per parent invocation.
+struct ObservedCall {
+  ServiceIdx caller;
+  ServiceIdx callee;
+  std::size_t observations = 0;
+  double mean_fanout = 0.0;
+};
+
+// Reconstructs the call graph from a trace corpus. Edges observed fewer than
+// `min_observations` times are dropped (trace sampling means rare edges may
+// be missed — the realistic flaw the robustness experiments poke at).
+[[nodiscard]] std::vector<ObservedCall> call_graph_from_traces(
+    std::span<const Trace> traces, std::size_t num_services,
+    std::size_t min_observations = 1);
+
+}  // namespace murphy::emulation

@@ -1,0 +1,47 @@
+#include "src/emulation/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murphy::emulation {
+
+std::vector<double> steady_load(std::size_t slices, double rps, double jitter,
+                                Rng& rng) {
+  std::vector<double> out(slices);
+  for (auto& v : out) v = std::max(0.0, rps * (1.0 + rng.normal(0.0, jitter)));
+  return out;
+}
+
+std::vector<double> step_load(std::size_t slices, double base_rps,
+                              double high_rps, TimeIndex ramp_at,
+                              std::size_t duration, double jitter, Rng& rng) {
+  std::vector<double> out(slices);
+  for (std::size_t t = 0; t < slices; ++t) {
+    const bool high = t >= ramp_at && t < ramp_at + duration;
+    const double rps = high ? high_rps : base_rps;
+    out[t] = std::max(0.0, rps * (1.0 + rng.normal(0.0, jitter)));
+  }
+  return out;
+}
+
+void add_burst(std::vector<double>& schedule, TimeIndex at,
+               std::size_t duration, double factor) {
+  const std::size_t end = std::min(schedule.size(), at + duration);
+  for (std::size_t t = at; t < end; ++t) schedule[t] *= factor;
+}
+
+std::vector<double> diurnal_load(std::size_t slices, double rps,
+                                 double amplitude, std::size_t period,
+                                 double jitter, Rng& rng) {
+  std::vector<double> out(slices);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  for (std::size_t t = 0; t < slices; ++t) {
+    const double phase =
+        two_pi * static_cast<double>(t) / static_cast<double>(period);
+    const double mod = 1.0 + amplitude * std::sin(phase);
+    out[t] = std::max(0.0, rps * mod * (1.0 + rng.normal(0.0, jitter)));
+  }
+  return out;
+}
+
+}  // namespace murphy::emulation

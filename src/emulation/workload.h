@@ -1,0 +1,40 @@
+// Open-loop workload schedules (wrk2-style) for the microservice simulator.
+//
+// A schedule is simply the offered requests/second at each 10 s slice; these
+// helpers build the shapes the paper's scenarios need: steady load with
+// noise, a step ramp at a given time (the interference aggressor), and
+// short-lived bursts (prior incidents).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_axis.h"
+
+namespace murphy::emulation {
+
+// Steady `rps` with multiplicative Gaussian jitter of `jitter` (e.g. 0.05).
+[[nodiscard]] std::vector<double> steady_load(std::size_t slices, double rps,
+                                              double jitter, Rng& rng);
+
+// Steady `base_rps` until `ramp_at`, then `high_rps` for `duration` slices,
+// then back to base. The aggressor-client shape of Fig. 5b.
+[[nodiscard]] std::vector<double> step_load(std::size_t slices,
+                                            double base_rps, double high_rps,
+                                            TimeIndex ramp_at,
+                                            std::size_t duration, double jitter,
+                                            Rng& rng);
+
+// Adds a burst (multiplies by `factor`) over [at, at+duration) in place.
+void add_burst(std::vector<double>& schedule, TimeIndex at,
+               std::size_t duration, double factor);
+
+// Slow diurnal-ish modulation used by longer traces: a sinusoid with the
+// given relative amplitude and period (in slices).
+[[nodiscard]] std::vector<double> diurnal_load(std::size_t slices, double rps,
+                                               double amplitude,
+                                               std::size_t period, double jitter,
+                                               Rng& rng);
+
+}  // namespace murphy::emulation

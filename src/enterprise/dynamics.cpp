@@ -1,0 +1,345 @@
+#include "src/enterprise/dynamics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy::enterprise {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+struct Buffers {
+  std::vector<std::vector<double>> vm_cpu, vm_mem, vm_tx, vm_rx;
+  std::vector<std::vector<double>> vnic_tx, vnic_rx, vnic_drops;
+  std::vector<std::vector<double>> flow_thr, flow_sess, flow_rtt;
+  std::vector<std::vector<double>> host_cpu, host_mem;
+  std::vector<std::vector<double>> pnic_tx, pnic_drops;
+  std::vector<std::vector<double>> port_thr, port_buf, port_drops;
+  std::vector<std::vector<double>> tor_cpu;
+  std::vector<std::vector<double>> ds_space;
+};
+
+}  // namespace
+
+void generate_dynamics(Topology& topo,
+                       const std::vector<Perturbation>& perturbations,
+                       const DynamicsOptions& opts) {
+  telemetry::MonitoringDb& db = topo.db;
+  Rng rng(opts.seed);
+  const std::size_t slices = opts.slices;
+  const std::size_t n_vm = topo.vms.size();
+  const std::size_t n_fl = topo.flows.size();
+  const std::size_t n_h = topo.hosts.size();
+  const std::size_t n_p = topo.switch_ports.size();
+  const std::size_t n_t = topo.tors.size();
+  const std::size_t n_d = topo.datastores.size();
+  const std::size_t n_a = topo.apps.size();
+
+  db.metrics().set_axis(TimeAxis(0.0, opts.interval_seconds, slices));
+
+  auto buf = [&](std::size_t n) {
+    return std::vector<std::vector<double>>(n, std::vector<double>(slices));
+  };
+  Buffers b;
+  b.vm_cpu = buf(n_vm);
+  b.vm_mem = buf(n_vm);
+  b.vm_tx = buf(n_vm);
+  b.vm_rx = buf(n_vm);
+  b.vnic_tx = buf(n_vm);
+  b.vnic_rx = buf(n_vm);
+  b.vnic_drops = buf(n_vm);
+  b.flow_thr = buf(n_fl);
+  b.flow_sess = buf(n_fl);
+  b.flow_rtt = buf(n_fl);
+  b.host_cpu = buf(n_h);
+  b.host_mem = buf(n_h);
+  b.pnic_tx = buf(n_h);
+  b.pnic_drops = buf(n_h);
+  b.port_thr = buf(n_p);
+  b.port_buf = buf(n_p);
+  b.port_drops = buf(n_p);
+  b.tor_cpu = buf(n_t);
+  b.ds_space = buf(n_d);
+
+  // Stable per-entity idiosyncrasies.
+  std::vector<double> app_base(n_a), app_phase(n_a);
+  for (std::size_t a = 0; a < n_a; ++a) {
+    app_base[a] = rng.uniform(20.0, 120.0);  // MB/s-scale latent demand
+    app_phase[a] = rng.uniform(0.0, kTwoPi);
+  }
+  std::vector<double> vm_cpu_base(n_vm), vm_mem_base(n_vm),
+      vm_cpu_per_load(n_vm);
+  for (std::size_t v = 0; v < n_vm; ++v) {
+    vm_cpu_base[v] = rng.uniform(3.0, 12.0);
+    vm_mem_base[v] = rng.uniform(20.0, 45.0);
+    vm_cpu_per_load[v] = rng.uniform(0.25, 0.7);  // CPU% per MB/s handled
+  }
+  std::vector<double> ds_base(n_d);
+  for (std::size_t d = 0; d < n_d; ++d) ds_base[d] = rng.uniform(30.0, 60.0);
+
+  // Index apps by value for demand lookup.
+  auto app_index = [&](AppId app) -> std::size_t { return app.value(); };
+
+  constexpr double kPortCapacity = 1000.0;  // MB/s per switch port
+  constexpr double kHostContentionKnee = 85.0;
+
+  for (TimeIndex t = 0; t < slices; ++t) {
+    // 1. Latent app demand with diurnal modulation.
+    std::vector<double> demand(n_a);
+    for (std::size_t a = 0; a < n_a; ++a) {
+      const double phase =
+          kTwoPi * static_cast<double>(t) /
+              static_cast<double>(opts.diurnal_period) +
+          app_phase[a];
+      double d = app_base[a] * (1.0 + 0.35 * std::sin(phase));
+      for (const Perturbation& p : perturbations)
+        if (p.kind == PerturbationKind::kAppDemandSurge && p.target == a &&
+            p.active(t))
+          d *= p.magnitude;
+      demand[a] = std::max(0.0, d * (1.0 + rng.normal(0.0, opts.noise)));
+    }
+
+    // 2. Flow loads from app demand (plus surges, minus crashed endpoints),
+    //    then request forwarding: every VM forwards a fraction of its
+    //    inbound load onto its outgoing flows (the crawler -> frontend ->
+    //    backend propagation of Fig. 1). A few relaxation passes let surges
+    //    travel across multi-tier chains.
+    std::vector<double> base_load(n_fl);
+    std::vector<bool> fl_dead(n_fl, false);
+    for (std::size_t f = 0; f < n_fl; ++f) {
+      const auto& flow = topo.flows[f];
+      const std::size_t a = app_index(topo.vm_app[flow.src_vm]);
+      double load = flow.weight * demand[a] * 0.2;
+      for (const Perturbation& p : perturbations) {
+        if (!p.active(t)) continue;
+        if (p.kind == PerturbationKind::kFlowSurge && p.target == f)
+          load *= p.magnitude;
+        if (p.kind == PerturbationKind::kVmCrash &&
+            (p.target == flow.src_vm || p.target == flow.dst_vm))
+          fl_dead[f] = true;
+      }
+      base_load[f] = std::max(0.0, load);
+    }
+    // Per-VM outgoing weight totals for proportional forwarding.
+    std::vector<double> out_weight(n_vm, 0.0);
+    for (std::size_t f = 0; f < n_fl; ++f)
+      out_weight[topo.flows[f].src_vm] += topo.flows[f].weight;
+    constexpr double kForwardFraction = 0.6;
+    std::vector<double> fl_load = base_load;
+    for (int pass = 0; pass < 3; ++pass) {
+      std::vector<double> inbound(n_vm, 0.0);
+      for (std::size_t f = 0; f < n_fl; ++f)
+        if (!fl_dead[f]) inbound[topo.flows[f].dst_vm] += fl_load[f];
+      for (std::size_t f = 0; f < n_fl; ++f) {
+        const auto& flow = topo.flows[f];
+        if (fl_dead[f]) {
+          fl_load[f] = 0.0;
+          continue;
+        }
+        const double share =
+            out_weight[flow.src_vm] > 1e-12
+                ? flow.weight / out_weight[flow.src_vm]
+                : 0.0;
+        fl_load[f] = base_load[f] +
+                     kForwardFraction * inbound[flow.src_vm] * share;
+      }
+    }
+    for (std::size_t f = 0; f < n_fl; ++f) {
+      fl_load[f] =
+          std::max(0.0, fl_load[f] * (1.0 + rng.normal(0.0, opts.noise)));
+      b.flow_thr[f][t] = fl_load[f];
+      b.flow_sess[f][t] = std::max(
+          0.0, fl_load[f] * 2.5 * (1.0 + rng.normal(0.0, opts.noise)));
+    }
+
+    // 3. VM traffic & first-pass CPU.
+    std::vector<double> vm_in(n_vm, 0.0), vm_out(n_vm, 0.0);
+    for (std::size_t f = 0; f < n_fl; ++f) {
+      vm_out[topo.flows[f].src_vm] += fl_load[f];
+      vm_in[topo.flows[f].dst_vm] += fl_load[f];
+    }
+    std::vector<double> cpu(n_vm);
+    std::vector<bool> crashed(n_vm, false);
+    for (std::size_t v = 0; v < n_vm; ++v) {
+      double c = vm_cpu_base[v] +
+                 vm_cpu_per_load[v] * (vm_in[v] + 0.4 * vm_out[v]);
+      double mem = vm_mem_base[v] + 0.15 * (vm_in[v] + vm_out[v]);
+      for (const Perturbation& p : perturbations) {
+        if (!p.active(t) || p.target != v) continue;
+        switch (p.kind) {
+          case PerturbationKind::kVmCpuSpike: c += p.magnitude; break;
+          case PerturbationKind::kVmMemLeak: {
+            const double frac =
+                static_cast<double>(t - p.start) /
+                std::max<double>(1.0, static_cast<double>(p.end - p.start));
+            mem += p.magnitude * frac;
+            break;
+          }
+          case PerturbationKind::kVmCrash:
+            crashed[v] = true;
+            break;
+          default: break;
+        }
+      }
+      if (crashed[v]) {
+        c = rng.uniform(0.0, 0.5);
+        mem = rng.uniform(0.0, 2.0);
+      }
+      cpu[v] = c;
+      b.vm_mem[v][t] =
+          std::clamp(mem * (1.0 + rng.normal(0.0, opts.noise)), 0.0, 100.0);
+    }
+
+    // 4. Host aggregation + contention feedback (the cyclic coupling).
+    std::vector<double> host_raw(n_h, 0.0);
+    for (std::size_t v = 0; v < n_vm; ++v)
+      host_raw[topo.vm_host[v]] += cpu[v] * 0.25;  // 4 VMs' worth saturates
+    for (const Perturbation& p : perturbations)
+      if (p.kind == PerturbationKind::kHostOverload && p.active(t))
+        host_raw[p.target] += p.magnitude;
+    std::vector<double> contention(n_h, 1.0);
+    for (std::size_t h = 0; h < n_h; ++h) {
+      if (host_raw[h] > kHostContentionKnee)
+        contention[h] = 1.0 + (host_raw[h] - kHostContentionKnee) / 40.0;
+      b.host_cpu[h][t] = std::clamp(
+          host_raw[h] * (1.0 + rng.normal(0.0, opts.noise)), 0.0, 100.0);
+      b.host_mem[h][t] = std::clamp(
+          30.0 + 0.4 * host_raw[h] + rng.normal(0.0, 2.0), 0.0, 100.0);
+    }
+    // Back-pressure: VMs on contended hosts burn more CPU for the same work.
+    for (std::size_t v = 0; v < n_vm; ++v) {
+      if (!crashed[v]) cpu[v] *= contention[topo.vm_host[v]];
+      b.vm_cpu[v][t] = std::clamp(
+          cpu[v] * (1.0 + rng.normal(0.0, opts.noise)), 0.0, 100.0);
+      b.vm_tx[v][t] =
+          std::max(0.0, vm_out[v] * (1.0 + rng.normal(0.0, opts.noise)));
+      b.vm_rx[v][t] =
+          std::max(0.0, vm_in[v] * (1.0 + rng.normal(0.0, opts.noise)));
+      b.vnic_tx[v][t] = b.vm_tx[v][t];
+      b.vnic_rx[v][t] = b.vm_rx[v][t];
+    }
+
+    // 5. Fabric: per-port traffic = traffic of hosts uplinked through it,
+    //    plus any injected congestion.
+    std::vector<double> port_load(n_p, 0.0);
+    std::vector<double> host_traffic(n_h, 0.0);
+    for (std::size_t v = 0; v < n_vm; ++v)
+      host_traffic[topo.vm_host[v]] += vm_in[v] + vm_out[v];
+    for (std::size_t h = 0; h < n_h; ++h) {
+      port_load[topo.host_tor_port[h]] += host_traffic[h];
+      b.pnic_tx[h][t] = std::max(
+          0.0, host_traffic[h] * (1.0 + rng.normal(0.0, opts.noise)));
+    }
+    for (const Perturbation& p : perturbations)
+      if (p.kind == PerturbationKind::kPortCongestion && p.active(t))
+        port_load[p.target] += p.magnitude;
+    std::vector<double> port_drop_rate(n_p, 0.0);
+    for (std::size_t p = 0; p < n_p; ++p) {
+      const double util = port_load[p] / kPortCapacity;
+      b.port_thr[p][t] =
+          std::max(0.0, port_load[p] * (1.0 + rng.normal(0.0, opts.noise)));
+      b.port_buf[p][t] = std::clamp(
+          util * 100.0 * (1.0 + rng.normal(0.0, opts.noise)), 0.0, 100.0);
+      port_drop_rate[p] =
+          util > 0.8 ? (util - 0.8) * 5.0 : 0.0;  // % drops past 80% util
+      b.port_drops[p][t] = std::max(
+          0.0, port_drop_rate[p] * (1.0 + std::abs(rng.normal(0.0, 0.2))));
+    }
+    for (std::size_t tor = 0; tor < n_t; ++tor)
+      b.tor_cpu[tor][t] =
+          std::clamp(15.0 + rng.normal(0.0, 2.0), 0.0, 100.0);
+
+    // 6. vNIC & pNIC drops inherit from port congestion + host contention.
+    for (std::size_t v = 0; v < n_vm; ++v) {
+      const std::size_t h = topo.vm_host[v];
+      const double port_drops = port_drop_rate[topo.host_tor_port[h]];
+      const double vnic_drop =
+          0.5 * port_drops + (contention[h] - 1.0) * 0.8;
+      b.vnic_drops[v][t] =
+          std::max(0.0, vnic_drop * (1.0 + std::abs(rng.normal(0.0, 0.2))));
+    }
+    for (std::size_t h = 0; h < n_h; ++h)
+      b.pnic_drops[h][t] = std::max(
+          0.0, port_drop_rate[topo.host_tor_port[h]] *
+                   (1.0 + std::abs(rng.normal(0.0, 0.2))));
+
+    // 7. Flow RTT: base + fabric congestion + destination host contention.
+    for (std::size_t f = 0; f < n_fl; ++f) {
+      const auto& flow = topo.flows[f];
+      const std::size_t hs = topo.vm_host[flow.src_vm];
+      const std::size_t hd = topo.vm_host[flow.dst_vm];
+      const double fabric = 0.5 * (b.port_buf[topo.host_tor_port[hs]][t] +
+                                   b.port_buf[topo.host_tor_port[hd]][t]);
+      double rtt = 0.5 + 0.03 * fabric + 4.0 * (contention[hd] - 1.0) +
+                   2.0 * (port_drop_rate[topo.host_tor_port[hd]]);
+      b.flow_rtt[f][t] =
+          std::max(0.1, rtt * (1.0 + std::abs(rng.normal(0.0, opts.noise))));
+    }
+
+    // 8. Datastores.
+    for (std::size_t d = 0; d < n_d; ++d) {
+      double space = ds_base[d] + 3.0 * std::sin(kTwoPi * t / slices);
+      for (const Perturbation& p : perturbations) {
+        if (p.kind == PerturbationKind::kDatastoreFill && p.target == d &&
+            p.active(t)) {
+          const double frac =
+              static_cast<double>(t - p.start) /
+              std::max<double>(1.0, static_cast<double>(p.end - p.start));
+          space = std::max(space, space + (p.magnitude - space) * frac);
+        }
+      }
+      b.ds_space[d][t] =
+          std::clamp(space + rng.normal(0.0, 0.5), 0.0, 100.0);
+    }
+  }
+
+  // --- write out -------------------------------------------------------------
+  auto& cat = db.catalog();
+  namespace mk = telemetry::metrics;
+  const auto m_cpu = cat.intern(mk::kCpuUtil);
+  const auto m_mem = cat.intern(mk::kMemUtil);
+  const auto m_tx = cat.intern(mk::kNetTx);
+  const auto m_rx = cat.intern(mk::kNetRx);
+  const auto m_drops = cat.intern(mk::kPacketDrops);
+  const auto m_thr = cat.intern(mk::kThroughput);
+  const auto m_sess = cat.intern(mk::kSessionCount);
+  const auto m_rtt = cat.intern(mk::kRtt);
+  const auto m_buf = cat.intern(mk::kBufferUtil);
+  const auto m_space = cat.intern(mk::kSpaceUtil);
+
+  auto& ms = db.metrics();
+  for (std::size_t v = 0; v < n_vm; ++v) {
+    ms.put(topo.vms[v], m_cpu, std::move(b.vm_cpu[v]));
+    ms.put(topo.vms[v], m_mem, std::move(b.vm_mem[v]));
+    ms.put(topo.vms[v], m_tx, std::move(b.vm_tx[v]));
+    ms.put(topo.vms[v], m_rx, std::move(b.vm_rx[v]));
+    ms.put(topo.vm_vnics[v], m_tx, std::move(b.vnic_tx[v]));
+    ms.put(topo.vm_vnics[v], m_rx, std::move(b.vnic_rx[v]));
+    ms.put(topo.vm_vnics[v], m_drops, std::move(b.vnic_drops[v]));
+  }
+  for (std::size_t f = 0; f < n_fl; ++f) {
+    ms.put(topo.flows[f].id, m_thr, std::move(b.flow_thr[f]));
+    ms.put(topo.flows[f].id, m_sess, std::move(b.flow_sess[f]));
+    ms.put(topo.flows[f].id, m_rtt, std::move(b.flow_rtt[f]));
+  }
+  for (std::size_t h = 0; h < n_h; ++h) {
+    ms.put(topo.hosts[h], m_cpu, std::move(b.host_cpu[h]));
+    ms.put(topo.hosts[h], m_mem, std::move(b.host_mem[h]));
+    ms.put(topo.host_pnics[h], m_tx, std::move(b.pnic_tx[h]));
+    ms.put(topo.host_pnics[h], m_drops, std::move(b.pnic_drops[h]));
+  }
+  for (std::size_t p = 0; p < n_p; ++p) {
+    ms.put(topo.switch_ports[p], m_thr, std::move(b.port_thr[p]));
+    ms.put(topo.switch_ports[p], m_buf, std::move(b.port_buf[p]));
+    ms.put(topo.switch_ports[p], m_drops, std::move(b.port_drops[p]));
+  }
+  for (std::size_t tor = 0; tor < n_t; ++tor)
+    ms.put(topo.tors[tor], m_cpu, std::move(b.tor_cpu[tor]));
+  for (std::size_t d = 0; d < n_d; ++d)
+    ms.put(topo.datastores[d], m_space, std::move(b.ds_space[d]));
+}
+
+}  // namespace murphy::enterprise

@@ -1,0 +1,64 @@
+// Metric dynamics for the enterprise topology.
+//
+// A latent-demand factor model with deliberate cyclic couplings, so the
+// generated telemetry exhibits the influence structure the paper observes in
+// production (§2.2, §6.6.2):
+//
+//   app demand  ->  flow throughput/sessions  ->  VM cpu/mem/net
+//   VM cpu      ->  host cpu                  ->  back-pressure on every VM
+//                                                 on that host (cyclic!)
+//   flows       ->  switch-port throughput    ->  buffer util / drops
+//   port drops + host contention  ->  flow RTT (infrastructure feeds back
+//                                                into application metrics)
+//
+// Incidents are expressed as Perturbations — *inputs* to the dynamics — so
+// every downstream metric moves consistently and correlations arise
+// naturally rather than being painted on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/time_axis.h"
+#include "src/enterprise/topology.h"
+
+namespace murphy::enterprise {
+
+enum class PerturbationKind {
+  kFlowSurge,      // heavy-hitter flow: multiplies flow load
+  kVmCpuSpike,     // stuck process: adds CPU% to a VM
+  kVmMemLeak,      // grows memory linearly across the window
+  kVmCrash,        // VM down: cpu ~0, its flows stop
+  kHostOverload,   // adds external CPU% load to a host
+  kPortCongestion, // adds external traffic (MB/s) through a switch port
+  kDatastoreFill,  // space utilization ramps to ~100%
+  kAppDemandSurge, // whole-app demand multiplier
+};
+
+struct Perturbation {
+  PerturbationKind kind = PerturbationKind::kVmCpuSpike;
+  // Index meaning depends on kind: flow index, vm index, host index, port
+  // index, datastore index, or app index.
+  std::size_t target = 0;
+  TimeIndex start = 0;
+  TimeIndex end = 0;
+  double magnitude = 1.0;
+
+  [[nodiscard]] bool active(TimeIndex t) const { return t >= start && t < end; }
+};
+
+struct DynamicsOptions {
+  std::size_t slices = 336;        // one week at 30 min
+  double interval_seconds = 1800.0;
+  double noise = 0.04;
+  // Slices per diurnal period (48 at 30-min intervals = daily).
+  std::size_t diurnal_period = 48;
+  std::uint64_t seed = 1;
+};
+
+// Generates every entity's metric series into topo.db.metrics().
+void generate_dynamics(Topology& topo,
+                       const std::vector<Perturbation>& perturbations,
+                       const DynamicsOptions& opts);
+
+}  // namespace murphy::enterprise

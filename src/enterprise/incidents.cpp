@@ -1,0 +1,395 @@
+#include "src/enterprise/incidents.h"
+
+#include <cassert>
+
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy::enterprise {
+namespace {
+
+namespace mk = telemetry::metrics;
+
+// Shared context while scripting one incident.
+struct Builder {
+  EnterpriseIncident incident;
+  Rng rng;
+  TimeIndex t0;  // incident window start
+  TimeIndex t1;  // incident window end
+  std::vector<Perturbation> perturbations;
+
+  Topology& topo() { return incident.topo; }
+
+  // Adds a perturbation over the incident window and remembers the entity
+  // it touched for the `injected` diagnostics list.
+  void perturb(PerturbationKind kind, std::size_t target, double magnitude,
+               EntityId touched) {
+    perturbations.push_back(Perturbation{kind, target, t0, t1, magnitude});
+    incident.injected.push_back(touched);
+  }
+
+  // Background noise incidents elsewhere in the environment so the trace
+  // isn't suspiciously clean: short demand bumps on unrelated apps earlier
+  // in the week, and — crucially — some *concurrent* with the incident
+  // window. Production incidents never happen against a quiet backdrop;
+  // concurrent-but-unrelated activity is exactly what correlation-based
+  // schemes mistake for root causes.
+  void add_background(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t app = rng.below(topo().apps.size());
+      const TimeIndex at = rng.below(t0 > 30 ? t0 - 20 : 1);
+      perturbations.push_back(Perturbation{PerturbationKind::kAppDemandSurge,
+                                           app, at, at + 6 + rng.below(10),
+                                           1.5 + 0.5 * rng.uniform()});
+    }
+    // Concurrent confounders: a couple of unrelated apps surge (or an
+    // unrelated VM runs hot) during the incident itself.
+    const std::size_t concurrent = 1 + count / 2;
+    for (std::size_t i = 0; i < concurrent; ++i) {
+      if (rng.chance(0.5)) {
+        perturbations.push_back(
+            Perturbation{PerturbationKind::kAppDemandSurge,
+                         rng.below(topo().apps.size()), t0, t1,
+                         1.8 + rng.uniform()});
+      } else {
+        const std::size_t vm = rng.below(topo().vms.size());
+        perturbations.push_back(Perturbation{PerturbationKind::kVmCpuSpike,
+                                             vm, t0, t1,
+                                             30.0 + 30.0 * rng.uniform()});
+        incident.injected.push_back(topo().vms[vm]);
+      }
+    }
+  }
+};
+
+Builder start(int number, std::string description,
+              const IncidentDatasetOptions& opts, bool calibration = false) {
+  Builder b{EnterpriseIncident{}, Rng(opts.seed + 7919u * number), 0, 0, {}};
+  b.incident.number = number;
+  b.incident.description = std::move(description);
+  b.incident.calibration = calibration;
+
+  TopologyOptions topt = opts.topology;
+  topt.seed = opts.seed + 104729u * number;
+  b.incident.topo = generate_topology(topt);
+
+  // Incident occupies the final stretch of the one-week window, so online
+  // training sees a few in-incident points (§4.2).
+  const std::size_t slices = opts.dynamics.slices;
+  b.t0 = slices - slices / 12;  // last ~8% of the trace
+  b.t1 = slices;
+  b.incident.incident_start = b.t0;
+  b.incident.incident_end = b.t1;
+  return b;
+}
+
+EnterpriseIncident finish(Builder&& b, const IncidentDatasetOptions& opts) {
+  DynamicsOptions dopt = opts.dynamics;
+  dopt.seed = opts.seed + 31u * b.incident.number;
+  generate_dynamics(b.incident.topo, b.perturbations, dopt);
+  assert(b.incident.symptom_entity.valid());
+  assert(!b.incident.ground_truth.empty());
+  return std::move(b.incident);
+}
+
+// Convenience pickers on the first app (the "affected application").
+struct AppPick {
+  AppId app;
+  std::vector<std::size_t> web, mid, db;
+};
+
+AppPick pick_app(Topology& topo, std::size_t app_index = 0) {
+  AppPick p;
+  p.app = topo.apps[app_index];
+  const auto& tier = topo.app_tiers[app_index];
+  p.web = tier.web;
+  p.mid = tier.app;
+  p.db = tier.db;
+  return p;
+}
+
+// Finds a flow inside the app, preferring one that ends at `dst_vm`.
+std::size_t flow_to(const Topology& topo, std::size_t dst_vm) {
+  for (std::size_t f = 0; f < topo.flows.size(); ++f)
+    if (topo.flows[f].dst_vm == dst_vm) return f;
+  for (std::size_t f = 0; f < topo.flows.size(); ++f)
+    if (topo.flows[f].src_vm == dst_vm) return f;
+  return 0;
+}
+
+}  // namespace
+
+EnterpriseIncident make_incident(int number,
+                                 const IncidentDatasetOptions& opts) {
+  switch (number) {
+    case 1: {
+      // Two app nodes crashed due to a plugin: two mid-tier VMs go down;
+      // symptom is the web tier losing its backends (net rx collapse). A
+      // demand surge elsewhere provides correlated red herrings.
+      Builder b = start(1, "Two app nodes crashed due to a plugin", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t vm1 = pick.mid[0];
+      const std::size_t vm2 = pick.mid[pick.mid.size() > 1 ? 1 : 0];
+      b.perturb(PerturbationKind::kVmCrash, vm1, 1.0, b.topo().vms[vm1]);
+      if (vm2 != vm1)
+        b.perturb(PerturbationKind::kVmCrash, vm2, 1.0, b.topo().vms[vm2]);
+      b.add_background(3);
+      b.incident.symptom_entity = b.topo().vms[pick.web[0]];
+      b.incident.symptom_metric = std::string(mk::kNetRx);
+      b.incident.ground_truth = {b.topo().vms[vm1], b.topo().vms[vm2]};
+      return finish(std::move(b), opts);
+    }
+    case 2: {
+      // The Fig. 1 crawler incident: a heavy-hitter flow into the web tier
+      // drives surging backend flows and high CPU on a backend VM.
+      // Calibration incident (ground truth fully validated with operators).
+      Builder b = start(2, "App returning a 502 error", opts,
+                        /*calibration=*/true);
+      auto pick = pick_app(b.topo());
+      const Topology& topo = b.topo();
+      // Trace the actual two-hop chain: a web->mid flow (the crawler's
+      // traffic into the frontend tier) followed by a mid->backend flow, so
+      // the surge demonstrably propagates to the symptom VM.
+      const std::size_t frontend = pick.web[0];
+      std::size_t crawler_flow = SIZE_MAX, backend = SIZE_MAX;
+      for (std::size_t f1 = 0; f1 < topo.flows.size(); ++f1) {
+        if (topo.flows[f1].src_vm != frontend) continue;
+        const std::size_t mid = topo.flows[f1].dst_vm;
+        for (std::size_t f2 = 0; f2 < topo.flows.size(); ++f2) {
+          if (topo.flows[f2].src_vm == mid &&
+              topo.flows[f2].dst_vm != frontend) {
+            crawler_flow = f1;
+            backend = topo.flows[f2].dst_vm;
+            break;
+          }
+        }
+        if (crawler_flow != SIZE_MAX) break;
+      }
+      if (crawler_flow == SIZE_MAX) {  // degenerate topology fallback
+        crawler_flow = flow_to(topo, frontend);
+        backend = topo.flows[crawler_flow].dst_vm;
+      }
+      b.perturb(PerturbationKind::kFlowSurge, crawler_flow, 30.0,
+                b.topo().flows[crawler_flow].id);
+      b.incident.symptom_entity = b.topo().vms[backend];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      b.incident.ground_truth = {b.topo().flows[crawler_flow].id};
+      return finish(std::move(b), opts);
+    }
+    case 3: {
+      // App unavailable: the backing datastore filled up; db VM can no
+      // longer write, web tier throughput collapses.
+      Builder b = start(3, "App unavailable", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t dbvm = pick.db[0];
+      const std::size_t ds = b.topo().vm_datastore[dbvm];
+      b.perturb(PerturbationKind::kDatastoreFill, ds, 99.0,
+                b.topo().datastores[ds]);
+      b.perturb(PerturbationKind::kVmCpuSpike, dbvm, 55.0,
+                b.topo().vms[dbvm]);  // IO-wait burning CPU
+      b.add_background(4);
+      b.incident.symptom_entity = b.topo().vms[pick.web[0]];
+      b.incident.symptom_metric = std::string(mk::kNetRx);
+      b.incident.ground_truth = {b.topo().datastores[ds]};
+      return finish(std::move(b), opts);
+    }
+    case 4: {
+      // App slow / timeouts: congested ToR port on the db host's uplink
+      // inflates flow RTTs.
+      Builder b = start(4, "App slow, experiencing timeouts", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t dbvm = pick.db[0];
+      const std::size_t port = b.topo().host_tor_port[b.topo().vm_host[dbvm]];
+      b.perturb(PerturbationKind::kPortCongestion, port, 900.0,
+                b.topo().switch_ports[port]);
+      b.add_background(2);
+      const std::size_t f = flow_to(b.topo(), dbvm);
+      b.incident.symptom_entity = b.topo().flows[f].id;
+      b.incident.symptom_metric = std::string(mk::kRtt);
+      b.incident.ground_truth = {b.topo().switch_ports[port]};
+      return finish(std::move(b), opts);
+    }
+    case 5: {
+      // App unavailable: sole web VM crashed.
+      Builder b = start(5, "App unavailable", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t vm = pick.web[0];
+      b.perturb(PerturbationKind::kVmCrash, vm, 1.0, b.topo().vms[vm]);
+      b.add_background(3);
+      const std::size_t f = flow_to(b.topo(), vm);
+      b.incident.symptom_entity = b.topo().flows[f].id;
+      b.incident.symptom_metric = std::string(mk::kThroughput);
+      b.incident.ground_truth = {b.topo().vms[vm]};
+      return finish(std::move(b), opts);
+    }
+    case 6: {
+      // App redirecting to a maintenance page: a deployment VM hammering
+      // the db tier during an (unannounced) upgrade.
+      Builder b = start(6, "App redirecting to a maintenance page", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t deployer = pick.mid.back();
+      b.perturb(PerturbationKind::kVmCpuSpike, deployer, 70.0,
+                b.topo().vms[deployer]);
+      // The (unannounced) upgrade leaves a trail in the config-event log,
+      // which Murphy surfaces alongside the metric-driven diagnosis.
+      b.topo().db.config_events().record(telemetry::ConfigEvent{
+          telemetry::ConfigEventKind::kConfigPushed,
+          b.topo().vms[deployer], b.t0, "maintenance-mode rollout"});
+      const std::size_t f = flow_to(b.topo(), deployer);
+      b.perturb(PerturbationKind::kFlowSurge, f, 6.0, b.topo().flows[f].id);
+      b.add_background(3);
+      b.incident.symptom_entity = b.topo().vms[pick.web[0]];
+      b.incident.symptom_metric = std::string(mk::kNetRx);
+      b.incident.ground_truth = {b.topo().vms[deployer]};
+      return finish(std::move(b), opts);
+    }
+    case 7: {
+      // Heap memory issue with a node: memory leak on one VM.
+      Builder b = start(7, "Heap memory issue with a node", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t vm = pick.mid[0];
+      b.perturb(PerturbationKind::kVmMemLeak, vm, 60.0, b.topo().vms[vm]);
+      b.add_background(2);
+      b.incident.symptom_entity = b.topo().vms[vm];
+      b.incident.symptom_metric = std::string(mk::kMemUtil);
+      b.incident.ground_truth = {b.topo().vms[vm]};
+      return finish(std::move(b), opts);
+    }
+    case 8: {
+      // App performance degradation: noisy-neighbor VM of *another* app on
+      // the same host saturates the host CPU. Red herrings abound because
+      // every co-located VM's metrics move.
+      Builder b = start(8, "App performance degradation", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t victim = pick.mid[0];
+      const std::size_t host = b.topo().vm_host[victim];
+      // Find a VM of a different app on the same host; fall back to any VM
+      // on the host.
+      std::size_t neighbor = victim;
+      for (std::size_t v = 0; v < b.topo().vms.size(); ++v) {
+        if (b.topo().vm_host[v] == host && b.topo().vm_app[v] != pick.app) {
+          neighbor = v;
+          break;
+        }
+      }
+      if (neighbor == victim) {
+        b.perturb(PerturbationKind::kHostOverload, host, 70.0,
+                  b.topo().hosts[host]);
+        b.incident.ground_truth = {b.topo().hosts[host]};
+      } else {
+        b.perturb(PerturbationKind::kVmCpuSpike, neighbor, 85.0,
+                  b.topo().vms[neighbor]);
+        b.incident.ground_truth = {b.topo().vms[neighbor]};
+      }
+      b.add_background(5);
+      b.incident.symptom_entity = b.topo().vms[victim];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      return finish(std::move(b), opts);
+    }
+    case 9: {
+      // App failing with 503: stuck process saturating the web VM itself.
+      Builder b = start(9, "App failing with 503 error", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t vm = pick.web[0];
+      b.perturb(PerturbationKind::kVmCpuSpike, vm, 80.0, b.topo().vms[vm]);
+      b.add_background(2);
+      b.incident.symptom_entity = b.topo().vms[vm];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      b.incident.ground_truth = {b.topo().vms[vm]};
+      return finish(std::move(b), opts);
+    }
+    case 10: {
+      // Health checks failing on 2 nodes: heavy flows hammer both nodes.
+      // Operators resolved it by rebooting the nodes, so the operator
+      // ground truth is the two VMs — the flows Murphy (correctly) flags
+      // count as false positives under this ground truth (§6.2).
+      Builder b = start(10, "Health check failing on 2 nodes", opts);
+      auto pick = pick_app(b.topo());
+      const std::size_t vm1 = pick.mid[0];
+      const std::size_t vm2 =
+          pick.mid.size() > 1 ? pick.mid[1] : pick.db[0];
+      const std::size_t f1 = flow_to(b.topo(), vm1);
+      const std::size_t f2 = flow_to(b.topo(), vm2);
+      b.perturb(PerturbationKind::kFlowSurge, f1, 9.0,
+                b.topo().flows[f1].id);
+      if (f2 != f1)
+        b.perturb(PerturbationKind::kFlowSurge, f2, 9.0,
+                  b.topo().flows[f2].id);
+      b.add_background(3);
+      b.incident.symptom_entity = b.topo().vms[vm1];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      b.incident.ground_truth = {b.topo().vms[vm1], b.topo().vms[vm2]};
+      return finish(std::move(b), opts);
+    }
+    case 11: {
+      // Maintenance-page redirect again, different app: overloaded shared
+      // host this time.
+      Builder b = start(11, "App redirecting to a maintenance page", opts);
+      auto pick = pick_app(b.topo(), 1);
+      const std::size_t vm = pick.web[0];
+      const std::size_t host = b.topo().vm_host[vm];
+      b.perturb(PerturbationKind::kHostOverload, host, 60.0,
+                b.topo().hosts[host]);
+      b.topo().db.config_events().record(telemetry::ConfigEvent{
+          telemetry::ConfigEventKind::kVmMigrated, b.topo().vms[vm],
+          b.t0 > 2 ? b.t0 - 2 : 0, "DRS rebalance onto contended host"});
+      b.add_background(4);
+      b.incident.symptom_entity = b.topo().vms[vm];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      b.incident.ground_truth = {b.topo().hosts[host]};
+      return finish(std::move(b), opts);
+    }
+    case 12: {
+      // Slowness loading data: another app's surge overloads a shared db
+      // backend through a cross-app flow. Many correlated entities.
+      Builder b = start(12, "Slowness in loading data", opts);
+      // Find a cross-app flow; its destination app is the victim.
+      std::size_t xflow = SIZE_MAX;
+      for (std::size_t f = 0; f < b.topo().flows.size(); ++f) {
+        const auto& fl = b.topo().flows[f];
+        if (b.topo().vm_app[fl.src_vm] != b.topo().vm_app[fl.dst_vm]) {
+          xflow = f;
+          break;
+        }
+      }
+      if (xflow == SIZE_MAX) xflow = 0;  // degenerate topologies
+      const auto& fl = b.topo().flows[xflow];
+      const std::size_t src_app_idx = b.topo().vm_app[fl.src_vm].value();
+      b.perturb(PerturbationKind::kAppDemandSurge, src_app_idx, 5.0,
+                b.topo().flows[xflow].id);
+      b.perturb(PerturbationKind::kFlowSurge, xflow, 8.0,
+                b.topo().flows[xflow].id);
+      b.add_background(5);
+      b.incident.symptom_entity = b.topo().vms[fl.dst_vm];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      b.incident.ground_truth = {b.topo().flows[xflow].id};
+      return finish(std::move(b), opts);
+    }
+    case 13: {
+      // Performance alert about a node exceeding thresholds: the simplest
+      // incident — one VM's CPU crosses the alert threshold. Calibration
+      // incident.
+      Builder b = start(13, "Performance alert: node exceeding thresholds",
+                        opts, /*calibration=*/true);
+      auto pick = pick_app(b.topo());
+      const std::size_t vm = pick.db.back();
+      b.perturb(PerturbationKind::kVmCpuSpike, vm, 65.0, b.topo().vms[vm]);
+      b.incident.symptom_entity = b.topo().vms[vm];
+      b.incident.symptom_metric = std::string(mk::kCpuUtil);
+      b.incident.ground_truth = {b.topo().vms[vm]};
+      return finish(std::move(b), opts);
+    }
+    default:
+      assert(false && "incident number must be 1..13");
+      return EnterpriseIncident{};
+  }
+}
+
+std::vector<EnterpriseIncident> make_incident_dataset(
+    const IncidentDatasetOptions& opts) {
+  std::vector<EnterpriseIncident> out;
+  out.reserve(13);
+  for (int n = 1; n <= 13; ++n) out.push_back(make_incident(n, opts));
+  return out;
+}
+
+}  // namespace murphy::enterprise

@@ -1,0 +1,61 @@
+// The enterprise incident dataset (Table 1 of the paper).
+//
+// Thirteen scripted incidents matching the observed-problem descriptions of
+// Table 1, each built on a fresh enterprise topology: a set of perturbations
+// (the injected cause plus realistic confounders), a problematic symptom
+// handed to the diagnosis schemes, and an operator-style ground truth.
+//
+// Two fidelity notes taken from §5.1.1/§6.2: the ground truth is what the
+// *operator's resolution* touched, which is not always the injected cause
+// (incident 10's operators rebooted the nodes even though heavy flows were
+// the trigger); and two incidents (2 and 13) are designated "calibration"
+// incidents with fully certain ground truth, used to calibrate every
+// scheme's thresholds for the FP comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/enterprise/dynamics.h"
+#include "src/enterprise/topology.h"
+
+namespace murphy::enterprise {
+
+struct EnterpriseIncident {
+  int number = 0;              // 1..13, matching Table 1 rows
+  std::string description;     // "observed problem" column
+  Topology topo;               // includes populated MonitoringDb
+
+  EntityId symptom_entity;
+  std::string symptom_metric;
+
+  // Operator-decided ground truth (may differ from injected cause).
+  std::vector<EntityId> ground_truth;
+  // Entities actually perturbed (diagnostics for tests).
+  std::vector<EntityId> injected;
+
+  TimeIndex incident_start = 0;
+  TimeIndex incident_end = 0;
+
+  // True for the two incidents with certain ground truth (§6.2 footnote).
+  bool calibration = false;
+};
+
+struct IncidentDatasetOptions {
+  // Topology scale for each incident's environment. Defaults give graphs of
+  // roughly a thousand entities; the Fig. 1 incident (number 2) uses a
+  // larger crawler/frontend/backend arrangement.
+  TopologyOptions topology;
+  DynamicsOptions dynamics;
+  std::uint64_t seed = 2023;
+};
+
+// Builds all 13 incidents. Incident numbers/descriptions follow Table 1.
+[[nodiscard]] std::vector<EnterpriseIncident> make_incident_dataset(
+    const IncidentDatasetOptions& opts = {});
+
+// Builds just incident `number` (1-based); useful for examples and tests.
+[[nodiscard]] EnterpriseIncident make_incident(
+    int number, const IncidentDatasetOptions& opts = {});
+
+}  // namespace murphy::enterprise

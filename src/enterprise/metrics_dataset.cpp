@@ -1,0 +1,48 @@
+#include "src/enterprise/metrics_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murphy::enterprise {
+
+Topology make_metrics_dataset(const MetricsDatasetOptions& opts) {
+  TopologyOptions topt;
+  // 300 apps averaging 12 VMs -> 3600 VMs + 3600 vNICs + ~9000 flows +
+  // fabric/hosts ≈ 17K entities, mirroring the census of §5.1.1 / Fig. 1.
+  topt.num_apps = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::lround(300.0 * opts.scale)));
+  topt.min_vms_per_app = 4;
+  topt.max_vms_per_app = 20;
+  topt.hosts = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::lround(136.0 * opts.scale)));
+  topt.tors = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::lround(12.0 * opts.scale)));
+  topt.ports_per_tor = 16;
+  topt.datastores = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::lround(24.0 * opts.scale)));
+  topt.flows_per_vm = 2.5;
+  topt.seed = opts.seed;
+
+  Topology topo = generate_topology(topt);
+
+  // Benign background: a handful of short demand surges, as any production
+  // week would contain.
+  Rng rng(opts.seed ^ 0xABCDEFULL);
+  std::vector<Perturbation> background;
+  const std::size_t surges = topt.num_apps / 10;
+  for (std::size_t i = 0; i < surges; ++i) {
+    const TimeIndex at = rng.below(opts.slices * 9 / 10);
+    background.push_back(Perturbation{PerturbationKind::kAppDemandSurge,
+                                      rng.below(topt.num_apps), at,
+                                      at + 4 + rng.below(12),
+                                      1.4 + rng.uniform()});
+  }
+
+  DynamicsOptions dopt;
+  dopt.slices = opts.slices;
+  dopt.seed = opts.seed ^ 0x5151ULL;
+  generate_dynamics(topo, background, dopt);
+  return topo;
+}
+
+}  // namespace murphy::enterprise

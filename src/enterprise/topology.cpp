@@ -1,0 +1,162 @@
+#include "src/enterprise/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace murphy::enterprise {
+
+using telemetry::EntityType;
+using telemetry::RelationKind;
+
+std::vector<std::size_t> Topology::vms_of_app(AppId app) const {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < vms.size(); ++v)
+    if (vm_app[v] == app) out.push_back(v);
+  return out;
+}
+
+std::vector<std::size_t> Topology::flows_of_vm(std::size_t vm) const {
+  std::vector<std::size_t> out;
+  for (std::size_t f = 0; f < flows.size(); ++f)
+    if (flows[f].src_vm == vm || flows[f].dst_vm == vm) out.push_back(f);
+  return out;
+}
+
+Topology generate_topology(const TopologyOptions& opts) {
+  Topology topo;
+  telemetry::MonitoringDb& db = topo.db;
+  Rng rng(opts.seed);
+
+  // --- physical fabric -------------------------------------------------------
+  for (std::size_t t = 0; t < opts.tors; ++t) {
+    const EntityId tor =
+        db.add_entity(EntityType::kSwitch, "tor-" + std::to_string(t));
+    topo.tors.push_back(tor);
+    for (std::size_t p = 0; p < opts.ports_per_tor; ++p) {
+      const EntityId port = db.add_entity(
+          EntityType::kSwitchPort,
+          "tor-" + std::to_string(t) + "-port-" + std::to_string(p));
+      topo.switch_ports.push_back(port);
+      db.add_association(port, tor, RelationKind::kPortOfSwitch);
+    }
+  }
+
+  for (std::size_t h = 0; h < opts.hosts; ++h) {
+    const EntityId host =
+        db.add_entity(EntityType::kHost, "host-" + std::to_string(h));
+    topo.hosts.push_back(host);
+    const EntityId pnic = db.add_entity(
+        EntityType::kPhysicalNic, "host-" + std::to_string(h) + "-pnic");
+    topo.host_pnics.push_back(pnic);
+    db.add_association(pnic, host, RelationKind::kPnicOfHost);
+    // Uplink: host h plugs into a port of ToR (h mod tors).
+    const std::size_t tor = h % opts.tors;
+    const std::size_t port_idx =
+        tor * opts.ports_per_tor + (h / opts.tors) % opts.ports_per_tor;
+    topo.host_tor_port.push_back(port_idx);
+    db.add_association(pnic, topo.switch_ports[port_idx],
+                       RelationKind::kHostUplink);
+  }
+
+  for (std::size_t d = 0; d < opts.datastores; ++d)
+    topo.datastores.push_back(
+        db.add_entity(EntityType::kDatastore, "ds-" + std::to_string(d)));
+
+  // --- applications, VMs, flows ---------------------------------------------
+  for (std::size_t a = 0; a < opts.num_apps; ++a) {
+    const AppId app = db.define_app("app-" + std::to_string(a));
+    topo.apps.push_back(app);
+    Topology::AppTier tier;
+
+    const std::size_t span = opts.max_vms_per_app - opts.min_vms_per_app + 1;
+    const std::size_t n_vms = opts.min_vms_per_app + rng.below(span);
+    std::vector<std::size_t> app_vm_indices;
+    for (std::size_t v = 0; v < n_vms; ++v) {
+      const std::size_t vm_idx = topo.vms.size();
+      const std::string name =
+          "app" + std::to_string(a) + "-vm" + std::to_string(v);
+      const EntityId vm = db.add_entity(EntityType::kVm, name, app);
+      const EntityId vnic =
+          db.add_entity(EntityType::kVirtualNic, name + "-vnic");
+      const std::size_t host = rng.below(opts.hosts);
+      const std::size_t ds = rng.below(opts.datastores);
+      db.add_association(vm, topo.hosts[host], RelationKind::kVmOnHost);
+      db.add_association(vnic, vm, RelationKind::kVnicOfVm);
+      db.add_association(vm, topo.datastores[ds],
+                         RelationKind::kVmOnDatastore);
+      topo.vms.push_back(vm);
+      topo.vm_vnics.push_back(vnic);
+      topo.vm_host.push_back(host);
+      topo.vm_datastore.push_back(ds);
+      topo.vm_app.push_back(app);
+      app_vm_indices.push_back(vm_idx);
+
+      // Tier assignment: first third web, middle app, rest db.
+      if (v < std::max<std::size_t>(1, n_vms / 3))
+        tier.web.push_back(vm_idx);
+      else if (v < std::max<std::size_t>(2, 2 * n_vms / 3))
+        tier.app.push_back(vm_idx);
+      else
+        tier.db.push_back(vm_idx);
+    }
+    if (tier.app.empty()) tier.app = tier.web;
+    if (tier.db.empty()) tier.db = tier.app;
+    topo.app_tiers.push_back(tier);
+
+    // Intra-app flows: web -> app and app -> db tiers, weighted.
+    const auto add_flow = [&](std::size_t src, std::size_t dst) {
+      const std::string fname = "flow-" + db.entity(topo.vms[src]).name + "-" +
+                                db.entity(topo.vms[dst]).name;
+      // A flow may already exist between this pair; reuse names uniquely.
+      if (db.find_entity(fname).valid()) return;
+      const EntityId flow = db.add_entity(EntityType::kFlow, fname, app);
+      db.add_association(flow, topo.vms[src], RelationKind::kFlowEndpoint);
+      db.add_association(flow, topo.vms[dst], RelationKind::kFlowEndpoint);
+      // Flows are also associated with the endpoints' vNICs.
+      db.add_association(flow, topo.vm_vnics[src],
+                         RelationKind::kFlowEndpoint);
+      db.add_association(flow, topo.vm_vnics[dst],
+                         RelationKind::kFlowEndpoint);
+      topo.flows.push_back(
+          Topology::FlowInfo{flow, src, dst, rng.uniform(0.3, 1.0)});
+    };
+
+    const std::size_t target_flows = static_cast<std::size_t>(
+        static_cast<double>(n_vms) * opts.flows_per_vm);
+    for (std::size_t f = 0; f < target_flows; ++f) {
+      // Pick tier pair: web->app or app->db.
+      if (rng.chance(0.5)) {
+        add_flow(tier.web[rng.below(tier.web.size())],
+                 tier.app[rng.below(tier.app.size())]);
+      } else {
+        add_flow(tier.app[rng.below(tier.app.size())],
+                 tier.db[rng.below(tier.db.size())]);
+      }
+    }
+
+    // Cross-app flow: this app's web tier talks to a previous app's db tier
+    // (shared backends are common in enterprises and create long-range
+    // couplings).
+    if (a > 0 && rng.chance(opts.cross_app_flow_prob)) {
+      const std::size_t other = rng.below(a);
+      const auto& other_tier = topo.app_tiers[other];
+      const std::size_t src = tier.app[rng.below(tier.app.size())];
+      const std::size_t dst =
+          other_tier.db[rng.below(other_tier.db.size())];
+      const std::string fname = "xflow-" + db.entity(topo.vms[src]).name +
+                                "-" + db.entity(topo.vms[dst]).name;
+      if (!db.find_entity(fname).valid()) {
+        const EntityId flow = db.add_entity(EntityType::kFlow, fname, app);
+        db.add_association(flow, topo.vms[src], RelationKind::kFlowEndpoint);
+        db.add_association(flow, topo.vms[dst], RelationKind::kFlowEndpoint);
+        topo.flows.push_back(
+            Topology::FlowInfo{flow, src, dst, rng.uniform(0.2, 0.6)});
+      }
+    }
+  }
+
+  return topo;
+}
+
+}  // namespace murphy::enterprise

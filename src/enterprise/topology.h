@@ -1,0 +1,84 @@
+// Enterprise private-cloud topology generator.
+//
+// Produces a MonitoringDb populated with the entity mix of the paper's
+// production environment (§2.1 / Fig. 1): ToR switches with switch ports,
+// hosts with physical NICs uplinked to ToR ports, VMs (with virtual NICs)
+// placed on hosts and backed by datastores, applications tagging groups of
+// VMs into web/app/db tiers, and TCP flows between tier VMs plus a few
+// cross-application flows. All associations are the loose, undirected
+// neighborhood relations the monitoring platform exposes, so the resulting
+// relationship graphs are heavily cyclic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::enterprise {
+
+struct TopologyOptions {
+  std::size_t num_apps = 20;
+  std::size_t min_vms_per_app = 4;
+  std::size_t max_vms_per_app = 20;
+  std::size_t hosts = 24;
+  std::size_t tors = 4;
+  std::size_t ports_per_tor = 16;
+  std::size_t datastores = 6;
+  // Average flows per VM (intra-app tier traffic).
+  double flows_per_vm = 2.5;
+  // Probability that an app has a flow to a VM of another app.
+  double cross_app_flow_prob = 0.3;
+  std::uint64_t seed = 1;
+};
+
+// Handles into the generated db, used by the dynamics engine and the
+// incident builders.
+struct Topology {
+  telemetry::MonitoringDb db;
+
+  std::vector<EntityId> tors;
+  std::vector<EntityId> switch_ports;   // grouped per ToR
+  std::vector<EntityId> hosts;
+  std::vector<EntityId> host_pnics;     // parallel to hosts
+  std::vector<std::size_t> host_tor_port;  // index into switch_ports
+  std::vector<EntityId> datastores;
+
+  std::vector<EntityId> vms;
+  std::vector<EntityId> vm_vnics;       // parallel to vms
+  std::vector<std::size_t> vm_host;     // index into hosts
+  std::vector<std::size_t> vm_datastore;
+  std::vector<AppId> vm_app;            // app of each VM
+
+  struct FlowInfo {
+    EntityId id;
+    std::size_t src_vm;  // index into vms
+    std::size_t dst_vm;
+    double weight;       // share of app demand this flow carries
+  };
+  std::vector<FlowInfo> flows;
+
+  struct AppTier {
+    std::vector<std::size_t> web;  // vm indices
+    std::vector<std::size_t> app;
+    std::vector<std::size_t> db;
+  };
+  std::vector<AppId> apps;
+  std::vector<AppTier> app_tiers;  // parallel to apps
+
+  [[nodiscard]] std::size_t entity_count() const { return db.entity_count(); }
+  // Host index of a VM index.
+  [[nodiscard]] std::size_t host_of_vm(std::size_t vm) const {
+    return vm_host[vm];
+  }
+  // All VM indices of an app.
+  [[nodiscard]] std::vector<std::size_t> vms_of_app(AppId app) const;
+  // Flow indices whose src or dst is the given vm index.
+  [[nodiscard]] std::vector<std::size_t> flows_of_vm(std::size_t vm) const;
+};
+
+[[nodiscard]] Topology generate_topology(const TopologyOptions& opts);
+
+}  // namespace murphy::enterprise

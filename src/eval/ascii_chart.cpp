@@ -1,0 +1,132 @@
+#include "src/eval/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/strings.h"
+
+namespace murphy::eval {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+struct Canvas {
+  std::size_t width;
+  std::size_t height;
+  std::vector<std::string> rows;
+
+  Canvas(std::size_t w, std::size_t h)
+      : width(w), height(h), rows(h, std::string(w, ' ')) {}
+
+  void plot(double fx, double fy, char glyph) {
+    // fx, fy in [0, 1]; fy = 0 is the bottom row.
+    if (!std::isfinite(fx) || !std::isfinite(fy)) return;
+    const auto col = static_cast<std::size_t>(
+        std::clamp(fx, 0.0, 1.0) * static_cast<double>(width - 1));
+    const auto row_from_bottom = static_cast<std::size_t>(
+        std::clamp(fy, 0.0, 1.0) * static_cast<double>(height - 1));
+    rows[height - 1 - row_from_bottom][col] = glyph;
+  }
+
+  [[nodiscard]] std::string render(double y_min, double y_max,
+                                   const ChartOptions& opts) const {
+    std::string out;
+    for (std::size_t r = 0; r < height; ++r) {
+      if (r == 0)
+        out += pad_left(format_double(y_max, 1), 9);
+      else if (r == height - 1)
+        out += pad_left(format_double(y_min, 1), 9);
+      else
+        out += std::string(9, ' ');
+      out += " |";
+      out += rows[r];
+      out += '\n';
+    }
+    out += std::string(10, ' ') + '+' + std::string(width, '-') + '\n';
+    if (!opts.x_label.empty())
+      out += std::string(11, ' ') + opts.x_label + '\n';
+    if (!opts.y_label.empty()) out = "  [" + opts.y_label + "]\n" + out;
+    return out;
+  }
+};
+
+void bounds(std::span<const Series> series, double* lo, double* hi) {
+  *lo = std::numeric_limits<double>::infinity();
+  *hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (const double y : s.ys) {
+      if (!std::isfinite(y)) continue;
+      *lo = std::min(*lo, y);
+      *hi = std::max(*hi, y);
+    }
+  }
+  if (!std::isfinite(*lo)) {
+    *lo = 0.0;
+    *hi = 1.0;
+  }
+  if (*hi - *lo < 1e-12) *hi = *lo + 1.0;
+}
+
+std::string legend(std::span<const Series> series) {
+  std::string out = "          ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out += ' ';
+    out += kGlyphs[i % sizeof(kGlyphs)];
+    out += '=' + series[i].name;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string line_chart(std::span<const double> ys, const ChartOptions& opts) {
+  Series s{"", std::vector<double>(ys.begin(), ys.end())};
+  return multi_line_chart(std::span<const Series>(&s, 1), opts);
+}
+
+std::string multi_line_chart(std::span<const Series> series,
+                             const ChartOptions& opts) {
+  double lo = 0.0, hi = 1.0;
+  bounds(series, &lo, &hi);
+  Canvas canvas(opts.width, opts.height);
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& ys = series[si].ys;
+    if (ys.empty()) continue;
+    const double denom =
+        ys.size() > 1 ? static_cast<double>(ys.size() - 1) : 1.0;
+    for (std::size_t i = 0; i < ys.size(); ++i)
+      canvas.plot(static_cast<double>(i) / denom, (ys[i] - lo) / (hi - lo),
+                  kGlyphs[si % sizeof(kGlyphs)]);
+  }
+  std::string out = canvas.render(lo, hi, opts);
+  if (series.size() > 1 || (!series.empty() && !series[0].name.empty()))
+    out += legend(series);
+  return out;
+}
+
+std::string cdf_chart(std::span<const Series> series,
+                      const ChartOptions& opts) {
+  double lo = 0.0, hi = 1.0;
+  bounds(series, &lo, &hi);
+  Canvas canvas(opts.width, opts.height);
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    auto sorted = series[si].ys;
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      canvas.plot((sorted[i] - lo) / (hi - lo),
+                  (static_cast<double>(i) + 1.0) / n,
+                  kGlyphs[si % sizeof(kGlyphs)]);
+  }
+  // For a CDF the y-axis is always the cumulative fraction.
+  ChartOptions copts = opts;
+  std::string out = canvas.render(0.0, 1.0, copts);
+  out += "          x-range: [" + format_double(lo, 2) + ", " +
+         format_double(hi, 2) + "]\n";
+  out += legend(series);
+  return out;
+}
+
+}  // namespace murphy::eval

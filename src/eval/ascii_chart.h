@@ -1,0 +1,40 @@
+// Terminal chart rendering for the bench binaries.
+//
+// The paper's figures are line plots and CDFs; the bench harnesses print
+// their series as small ASCII charts so the *shape* (spikes, crossovers,
+// dominance) is visible directly in the captured output, alongside the raw
+// rows.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace murphy::eval {
+
+struct ChartOptions {
+  std::size_t width = 64;   // plot columns
+  std::size_t height = 12;  // plot rows
+  std::string y_label;
+  std::string x_label;
+};
+
+// Single-series line chart of y over its index (time).
+[[nodiscard]] std::string line_chart(std::span<const double> ys,
+                                     const ChartOptions& opts = {});
+
+// Multi-series chart; each series gets its own glyph ('*', 'o', '+', 'x').
+// Series may have different lengths; x is normalized per series.
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+};
+[[nodiscard]] std::string multi_line_chart(std::span<const Series> series,
+                                           const ChartOptions& opts = {});
+
+// Empirical CDF chart: sorts each series and plots value (x) vs cumulative
+// fraction (y) over a shared x-range — the Fig. 8a presentation.
+[[nodiscard]] std::string cdf_chart(std::span<const Series> series,
+                                    const ChartOptions& opts = {});
+
+}  // namespace murphy::eval

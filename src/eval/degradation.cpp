@@ -1,0 +1,81 @@
+#include "src/eval/degradation.h"
+
+#include <vector>
+
+namespace murphy::eval {
+
+std::string_view degradation_name(Degradation d) {
+  switch (d) {
+    case Degradation::kNone: return "unchanged";
+    case Degradation::kMissingValues: return "missing_values";
+    case Degradation::kMissingEdge: return "missing_edge";
+    case Degradation::kMissingEntity: return "missing_entity";
+    case Degradation::kMissingMetric: return "missing_metric";
+  }
+  return "unknown";
+}
+
+void apply_degradation(emulation::DiagnosisCase& c, Degradation d, Rng& rng) {
+  telemetry::MonitoringDb& db = c.db;
+  switch (d) {
+    case Degradation::kNone:
+      return;
+
+    case Degradation::kMissingValues: {
+      // 25% of entities lose history before the incident.
+      for (const EntityId e : db.all_entities()) {
+        if (!rng.chance(0.25)) continue;
+        for (const MetricKindId kind : db.metrics().kinds_of(e)) {
+          auto* ts = db.metrics().find_mutable(e, kind);
+          if (ts) ts->invalidate_before(c.incident_start);
+        }
+      }
+      return;
+    }
+
+    case Degradation::kMissingEdge: {
+      // Remove one randomly chosen caller->callee association.
+      std::vector<std::size_t> rpc_edges;
+      for (std::size_t i = 0; i < db.association_count(); ++i)
+        if (db.association(i).kind ==
+            telemetry::RelationKind::kCallerCallee)
+          rpc_edges.push_back(i);
+      if (!rpc_edges.empty())
+        db.remove_association(rpc_edges[rng.below(rpc_edges.size())]);
+      return;
+    }
+
+    case Degradation::kMissingEntity: {
+      // Remove a random entity that is neither the symptom, the root cause,
+      // nor in the relaxed acceptance set.
+      std::vector<EntityId> removable;
+      for (const EntityId e : db.all_entities()) {
+        if (e == c.symptom_entity || e == c.root_cause) continue;
+        bool relaxed = false;
+        for (const EntityId r : c.relaxed_set) relaxed |= (r == e);
+        if (!relaxed) removable.push_back(e);
+      }
+      if (!removable.empty())
+        db.remove_entity(removable[rng.below(removable.size())]);
+      return;
+    }
+
+    case Degradation::kMissingMetric: {
+      // Remove one metric (not the symptom metric, if the root cause IS the
+      // symptom entity) of the root-cause entity.
+      const auto kinds = db.metrics().kinds_of(c.root_cause);
+      if (kinds.empty()) return;
+      const auto symptom_kind = db.catalog().find(c.symptom_metric);
+      std::vector<MetricKindId> eligible;
+      for (const MetricKindId k : kinds)
+        if (!(c.root_cause == c.symptom_entity && k == symptom_kind))
+          eligible.push_back(k);
+      if (!eligible.empty())
+        db.metrics().erase(c.root_cause,
+                           eligible[rng.below(eligible.size())]);
+      return;
+    }
+  }
+}
+
+}  // namespace murphy::eval

@@ -1,0 +1,37 @@
+// Data-degradation injectors for the robustness experiments (Table 2).
+//
+// Four corruption modes, mirroring §6.4:
+//  * missing edge   — remove the association between a randomly chosen RPC
+//                     and its caller (tracing-framework bug);
+//  * missing entity — remove a randomly chosen entity with all its metrics
+//                     and associations (monitoring coverage gap);
+//  * missing metric — remove a single metric of the root-cause entity;
+//  * missing values — for 25% of entities, delete historical values while
+//                     keeping the in-incident window (newly spawned entity).
+#pragma once
+
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/emulation/scenarios.h"
+
+namespace murphy::eval {
+
+enum class Degradation {
+  kNone,
+  kMissingValues,
+  kMissingEdge,
+  kMissingEntity,
+  kMissingMetric,
+};
+
+[[nodiscard]] std::string_view degradation_name(Degradation d);
+
+// Applies the degradation in place. Never removes the symptom entity or the
+// ground-truth root cause (the experiment measures robustness of reasoning,
+// not of data about the answer itself — except kMissingMetric, which by
+// definition targets the root cause, and kMissingValues, which may hit any
+// entity). `incident_start` guards the kept window for kMissingValues.
+void apply_degradation(emulation::DiagnosisCase& c, Degradation d, Rng& rng);
+
+}  // namespace murphy::eval

@@ -1,0 +1,77 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+
+namespace murphy::eval {
+
+CaseOutcome score_result(const core::DiagnosisResult& result,
+                         std::span<const EntityId> ground_truth,
+                         std::span<const EntityId> relaxed) {
+  CaseOutcome out;
+  out.output_size = result.causes.size();
+
+  auto best_rank = [&](std::span<const EntityId> truths) -> std::size_t {
+    std::size_t best = 0;
+    for (const EntityId t : truths) {
+      const std::size_t r = result.rank_of(t);
+      if (r != 0 && (best == 0 || r < best)) best = r;
+    }
+    return best;
+  };
+  out.rank = best_rank(ground_truth);
+  out.relaxed_rank = relaxed.empty() ? out.rank : best_rank(relaxed);
+
+  for (const auto& cause : result.causes) {
+    const bool is_truth =
+        std::find(ground_truth.begin(), ground_truth.end(), cause.entity) !=
+        ground_truth.end();
+    if (!is_truth) ++out.false_positives;
+  }
+  return out;
+}
+
+void Accuracy::add(const CaseOutcome& outcome) { outcomes_.push_back(outcome); }
+
+double Accuracy::top_k(std::size_t k) const {
+  if (outcomes_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& o : outcomes_) hits += o.hit(k) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(outcomes_.size());
+}
+
+double Accuracy::relaxed_top_k(std::size_t k) const {
+  if (outcomes_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& o : outcomes_) hits += o.relaxed_hit(k) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(outcomes_.size());
+}
+
+double Accuracy::mean_precision() const {
+  if (outcomes_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& o : outcomes_) s += o.precision();
+  return s / static_cast<double>(outcomes_.size());
+}
+
+double Accuracy::mean_relaxed_precision() const {
+  if (outcomes_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& o : outcomes_) s += o.relaxed_precision();
+  return s / static_cast<double>(outcomes_.size());
+}
+
+double Accuracy::mean_false_positives() const {
+  if (outcomes_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& o : outcomes_)
+    s += static_cast<double>(o.false_positives);
+  return s / static_cast<double>(outcomes_.size());
+}
+
+std::size_t Accuracy::total_false_positives() const {
+  std::size_t s = 0;
+  for (const auto& o : outcomes_) s += o.false_positives;
+  return s;
+}
+
+}  // namespace murphy::eval

@@ -1,0 +1,61 @@
+// Accuracy metrics of §6: top-K recall, precision = 1/r, relaxed variants,
+// and false-positive counts under the operator ground truth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/diagnosis.h"
+
+namespace murphy::eval {
+
+// Outcome of one scheme on one case.
+struct CaseOutcome {
+  // 1-based rank of the best-ranked ground-truth entity; 0 = not produced.
+  std::size_t rank = 0;
+  // Same for the relaxed acceptance set (§6.1).
+  std::size_t relaxed_rank = 0;
+  std::size_t output_size = 0;
+  // Entities reported that are not in the ground truth (Table 1's FP count).
+  std::size_t false_positives = 0;
+
+  [[nodiscard]] bool hit(std::size_t k) const { return rank >= 1 && rank <= k; }
+  [[nodiscard]] bool relaxed_hit(std::size_t k) const {
+    return relaxed_rank >= 1 && relaxed_rank <= k;
+  }
+  // Precision per the paper: 1/r when the truth appears at rank r, else 0.
+  [[nodiscard]] double precision() const {
+    return rank == 0 ? 0.0 : 1.0 / static_cast<double>(rank);
+  }
+  [[nodiscard]] double relaxed_precision() const {
+    return relaxed_rank == 0 ? 0.0 : 1.0 / static_cast<double>(relaxed_rank);
+  }
+};
+
+// Scores a diagnosis result against ground truth / relaxed sets.
+[[nodiscard]] CaseOutcome score_result(
+    const core::DiagnosisResult& result,
+    std::span<const EntityId> ground_truth,
+    std::span<const EntityId> relaxed = {});
+
+// Aggregate over many cases.
+class Accuracy {
+ public:
+  void add(const CaseOutcome& outcome);
+
+  [[nodiscard]] std::size_t cases() const { return outcomes_.size(); }
+  // Fraction of cases with the truth in the top K (recall@K).
+  [[nodiscard]] double top_k(std::size_t k) const;
+  [[nodiscard]] double relaxed_top_k(std::size_t k) const;
+  [[nodiscard]] double mean_precision() const;
+  [[nodiscard]] double mean_relaxed_precision() const;
+  [[nodiscard]] double mean_false_positives() const;
+  [[nodiscard]] std::size_t total_false_positives() const;
+
+ private:
+  std::vector<CaseOutcome> outcomes_;
+};
+
+}  // namespace murphy::eval

@@ -1,0 +1,54 @@
+// Scenario runner: applies every scheme to every case, collecting Accuracy.
+// Also implements the recall-calibration procedure of §6.2 (tune each
+// scheme's output-size knob on the calibration incidents so all schemes have
+// comparable false negatives before counting false positives).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/diagnosis.h"
+#include "src/emulation/scenarios.h"
+#include "src/enterprise/incidents.h"
+#include "src/eval/metrics.h"
+
+namespace murphy::eval {
+
+// Builds the DiagnosisRequest for a microservice case / enterprise incident:
+// online training over the full history, diagnosis at the last in-incident
+// slice.
+[[nodiscard]] core::DiagnosisRequest request_for(
+    const emulation::DiagnosisCase& c);
+[[nodiscard]] core::DiagnosisRequest request_for(
+    const enterprise::EnterpriseIncident& inc);
+
+// Runs one scheme over one case and scores it.
+[[nodiscard]] CaseOutcome run_case(core::Diagnoser& scheme,
+                                   const emulation::DiagnosisCase& c);
+[[nodiscard]] CaseOutcome run_case(core::Diagnoser& scheme,
+                                   const enterprise::EnterpriseIncident& inc);
+
+// Truncates a result to its top `k` entries before scoring; used when a
+// scheme's raw output is an unbounded ranking (ExplainIt / NetMedic) and the
+// experiment evaluates top-K behaviour.
+[[nodiscard]] core::DiagnosisResult truncated(core::DiagnosisResult result,
+                                              std::size_t k);
+
+// Recall calibration (§6.2): the paper tunes each scheme's parameters to
+// minimize false positives subject to producing every ground-truth entity
+// of the calibration incidents (recall = 1 there). We realize that as a
+// score floor in the scheme's own score scale: the largest floor that keeps
+// every calibration ground truth is the minimum of their scores. Returns 0
+// (keep everything) when the scheme misses a calibration truth entirely —
+// no parameter setting can reach recall 1 then.
+[[nodiscard]] double calibrate_score_floor(
+    core::Diagnoser& scheme,
+    const std::vector<const enterprise::EnterpriseIncident*>& calibration);
+
+// Drops causes scoring below `floor`.
+[[nodiscard]] core::DiagnosisResult filtered_by_score(
+    core::DiagnosisResult result, double floor);
+
+}  // namespace murphy::eval

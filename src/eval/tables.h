@@ -1,0 +1,23 @@
+// Fixed-width table rendering for the bench binaries, so every table/figure
+// harness prints rows in the same shape the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace murphy::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with a header rule; column widths fit the longest cell.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace murphy::eval

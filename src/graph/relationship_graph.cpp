@@ -1,0 +1,232 @@
+#include "src/graph/relationship_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace murphy::graph {
+
+RelationshipGraph RelationshipGraph::build(const telemetry::MonitoringDb& db,
+                                           std::span<const EntityId> seeds,
+                                           std::size_t max_hops,
+                                           std::size_t max_nodes) {
+  RelationshipGraph g;
+  std::unordered_map<EntityId, NodeIndex> index;
+
+  auto intern = [&](EntityId id) -> NodeIndex {
+    if (auto it = index.find(id); it != index.end()) return it->second;
+    const NodeIndex n = g.nodes_.size();
+    g.nodes_.push_back(id);
+    index.emplace(id, n);
+    return n;
+  };
+
+  std::vector<EntityId> frontier;
+  for (const EntityId seed : seeds) {
+    if (!db.has_entity(seed)) continue;
+    if (index.find(seed) == index.end()) {
+      intern(seed);
+      frontier.push_back(seed);
+    }
+  }
+
+  // S = neighbors(S) expansion (§4.1), bounded by hop count and node cap.
+  for (std::size_t hop = 0; hop < max_hops && !frontier.empty(); ++hop) {
+    std::vector<EntityId> next;
+    for (const EntityId cur : frontier) {
+      for (const EntityId nb : db.neighbors(cur)) {
+        if (index.find(nb) != index.end()) continue;
+        if (g.nodes_.size() >= max_nodes) break;
+        intern(nb);
+        next.push_back(nb);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Materialize edges between included nodes. Bidirectional unless the
+  // association carries a known causal direction.
+  std::unordered_set<std::uint64_t> seen;
+  auto edge_key = [](NodeIndex s, NodeIndex d) {
+    return (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint32_t>(d);
+  };
+  for (std::size_t i = 0; i < db.association_count(); ++i) {
+    const telemetry::Association& a = db.association(i);
+    const auto ia = index.find(a.a);
+    const auto ib = index.find(a.b);
+    if (ia == index.end() || ib == index.end()) continue;
+    if (seen.insert(edge_key(ia->second, ib->second)).second)
+      g.add_edge(ia->second, ib->second, a.kind);
+    if (!a.directed && seen.insert(edge_key(ib->second, ia->second)).second)
+      g.add_edge(ib->second, ia->second, a.kind);
+  }
+
+  g.finalize();
+  return g;
+}
+
+void RelationshipGraph::add_edge(NodeIndex src, NodeIndex dst,
+                                 telemetry::RelationKind kind) {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  edges_.push_back(GraphEdge{src, dst, kind});
+}
+
+void RelationshipGraph::finalize() {
+  out_.assign(nodes_.size(), {});
+  in_.assign(nodes_.size(), {});
+  for (const GraphEdge& e : edges_) {
+    out_[e.src].push_back(e.dst);
+    in_[e.dst].push_back(e.src);
+  }
+}
+
+std::optional<NodeIndex> RelationshipGraph::index_of(EntityId id) const {
+  for (NodeIndex n = 0; n < nodes_.size(); ++n)
+    if (nodes_[n] == id) return n;
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<std::size_t> bfs(
+    std::size_t start, std::size_t n,
+    const std::vector<std::vector<NodeIndex>>& adjacency) {
+  std::vector<std::size_t> dist(n, kUnreachable);
+  std::deque<NodeIndex> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const NodeIndex cur = queue.front();
+    queue.pop_front();
+    for (const NodeIndex nb : adjacency[cur]) {
+      if (dist[nb] != kUnreachable) continue;
+      dist[nb] = dist[cur] + 1;
+      queue.push_back(nb);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::size_t> RelationshipGraph::distances_from(
+    NodeIndex src) const {
+  return bfs(src, nodes_.size(), out_);
+}
+
+std::vector<std::size_t> RelationshipGraph::distances_to(NodeIndex dst) const {
+  return bfs(dst, nodes_.size(), in_);
+}
+
+std::vector<NodeIndex> RelationshipGraph::shortest_path_subgraph(
+    NodeIndex src, NodeIndex dst, std::size_t slack) const {
+  const auto d_from = distances_from(src);
+  if (d_from[dst] == kUnreachable) return {};
+  const auto d_to = distances_to(dst);
+  const std::size_t total = d_from[dst];
+
+  std::vector<NodeIndex> members;
+  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+    if (d_from[n] == kUnreachable || d_to[n] == kUnreachable) continue;
+    if (d_from[n] + d_to[n] <= total + slack) members.push_back(n);
+  }
+  std::sort(members.begin(), members.end(), [&](NodeIndex a, NodeIndex b) {
+    // dst strictly last so the final resample yields its value.
+    if ((a == dst) != (b == dst)) return b == dst;
+    if (d_from[a] != d_from[b]) return d_from[a] < d_from[b];
+    return a < b;  // stable tiebreak for determinism
+  });
+  return members;
+}
+
+bool RelationshipGraph::has_edge(NodeIndex src, NodeIndex dst) const {
+  const auto& o = out_[src];
+  return std::find(o.begin(), o.end(), dst) != o.end();
+}
+
+std::size_t RelationshipGraph::count_2cycles() const {
+  std::size_t count = 0;
+  for (const GraphEdge& e : edges_) {
+    if (e.src < e.dst && has_edge(e.dst, e.src)) ++count;
+  }
+  return count;
+}
+
+std::size_t RelationshipGraph::count_3cycles() const {
+  // Count directed triangles a->b->c->a once per node set: require a to be
+  // the smallest index on the cycle.
+  std::size_t count = 0;
+  for (NodeIndex a = 0; a < nodes_.size(); ++a) {
+    for (const NodeIndex b : out_[a]) {
+      if (b <= a) continue;
+      for (const NodeIndex c : out_[b]) {
+        if (c <= a || c == b) continue;
+        if (has_edge(c, a)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+bool RelationshipGraph::on_cycle(NodeIndex n) const {
+  // n lies on a directed cycle iff some in-neighbor of n is reachable from n
+  // along out-edges.
+  const auto d = distances_from(n);
+  for (const NodeIndex pred : in_[n])
+    if (d[pred] != kUnreachable) return true;
+  return false;
+}
+
+std::optional<std::vector<NodeIndex>> RelationshipGraph::topological_order()
+    const {
+  std::vector<std::size_t> in_degree(nodes_.size(), 0);
+  for (const GraphEdge& e : edges_) ++in_degree[e.dst];
+  std::deque<NodeIndex> ready;
+  for (NodeIndex n = 0; n < nodes_.size(); ++n)
+    if (in_degree[n] == 0) ready.push_back(n);
+  std::vector<NodeIndex> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeIndex cur = ready.front();
+    ready.pop_front();
+    order.push_back(cur);
+    for (const NodeIndex nb : out_[cur])
+      if (--in_degree[nb] == 0) ready.push_back(nb);
+  }
+  if (order.size() != nodes_.size()) return std::nullopt;
+  return order;
+}
+
+bool RelationshipGraph::is_dag() const {
+  return topological_order().has_value();
+}
+
+RelationshipGraph RelationshipGraph::without_edge(NodeIndex src,
+                                                  NodeIndex dst) const {
+  RelationshipGraph g;
+  g.nodes_ = nodes_;
+  for (const GraphEdge& e : edges_)
+    if (!(e.src == src && e.dst == dst)) g.edges_.push_back(e);
+  g.finalize();
+  return g;
+}
+
+RelationshipGraph RelationshipGraph::without_node(NodeIndex n) const {
+  RelationshipGraph g;
+  std::vector<NodeIndex> remap(nodes_.size(), kUnreachable);
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (i == n) continue;
+    remap[i] = g.nodes_.size();
+    g.nodes_.push_back(nodes_[i]);
+  }
+  for (const GraphEdge& e : edges_) {
+    if (e.src == n || e.dst == n) continue;
+    g.edges_.push_back(GraphEdge{remap[e.src], remap[e.dst], e.kind});
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace murphy::graph

@@ -1,0 +1,81 @@
+#include "src/stats/correlation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/stats/summary.h"
+
+namespace murphy::stats {
+namespace {
+
+std::vector<double> ranks(std::span<const double> x) {
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> r(x.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-15 || syy < 1e-15) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+double abnormality_correlation(std::span<const double> x,
+                               std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(x), sx = stddev(x);
+  const double my = mean(y), sy = stddev(y);
+  std::vector<double> ax(n), ay(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ax[i] = std::abs(zscore(x[i], mx, sx));
+    ay[i] = std::abs(zscore(y[i], my, sy));
+  }
+  return pearson(ax, ay);
+}
+
+double lagged_pearson(std::span<const double> x, std::span<const double> y,
+                      std::size_t lag) {
+  assert(x.size() == y.size());
+  if (x.size() <= lag + 1) return 0.0;
+  const std::size_t n = x.size() - lag;
+  return pearson(x.subspan(0, n), y.subspan(lag, n));
+}
+
+}  // namespace murphy::stats

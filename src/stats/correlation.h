@@ -1,0 +1,29 @@
+// Correlation measures used for feature selection (Murphy's top-B neighbor
+// metric choice), ExplainIt's ranking, and NetMedic's edge weights.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace murphy::stats {
+
+// Pearson correlation coefficient in [-1, 1]; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+// Spearman rank correlation; robust to monotone nonlinearity.
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+// NetMedic-style abnormality correlation: correlation of |z-scores| of the
+// two series relative to their own historical mean/stddev. Two metrics that
+// become abnormal together score high even if their raw values anti-move.
+[[nodiscard]] double abnormality_correlation(std::span<const double> x,
+                                             std::span<const double> y);
+
+// Cross-correlation at the given lag (y shifted `lag` slices later than x).
+[[nodiscard]] double lagged_pearson(std::span<const double> x,
+                                    std::span<const double> y, std::size_t lag);
+
+}  // namespace murphy::stats

@@ -1,0 +1,155 @@
+#include "src/stats/gmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/stats/summary.h"
+
+namespace murphy::stats {
+namespace {
+
+constexpr double kMinVar = 1e-6;
+constexpr double kLog2Pi = 1.8378770664093453;
+
+double log_sum_exp(std::span<const double> xs) {
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+GmmRegressor::GmmRegressor(int components, std::uint64_t seed)
+    : requested_components_(components), seed_(seed) {
+  assert(components >= 1);
+}
+
+double GmmRegressor::log_density(const Component& c, std::span<const double> z,
+                                 std::size_t dims) const {
+  double lp = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double var = std::max(c.var[d], kMinVar);
+    const double diff = z[d] - c.mean[d];
+    lp += -0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+  }
+  return lp;
+}
+
+void GmmRegressor::fit(const Matrix& x, const Vector& y) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  assert(y.size() == n && n >= 1);
+  dim_ = p + 1;
+
+  // Standardize the joint space so EM isn't dominated by large-scale metrics.
+  feat_mean_.assign(p, 0.0);
+  feat_scale_.assign(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    OnlineStats s;
+    for (std::size_t i = 0; i < n; ++i) s.add(x.at(i, j));
+    feat_mean_[j] = s.mean();
+    feat_scale_[j] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+  {
+    OnlineStats s;
+    for (double v : y) s.add(v);
+    y_mean_ = s.mean();
+    y_scale_ = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+
+  Matrix z(n, dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j)
+      z.at(i, j) = (x.at(i, j) - feat_mean_[j]) / feat_scale_[j];
+    z.at(i, p) = (y[i] - y_mean_) / y_scale_;
+  }
+
+  const int k = std::min<int>(requested_components_,
+                              static_cast<int>(std::max<std::size_t>(1, n / 8)));
+  Rng rng(seed_);
+
+  // Initialize means on random data points, unit variances, equal weights.
+  comps_.assign(static_cast<std::size_t>(k), Component{});
+  for (auto& c : comps_) {
+    const std::size_t pick = static_cast<std::size_t>(rng.below(n));
+    c.weight = 1.0 / k;
+    c.mean.assign(z.row(pick), z.row(pick) + dim_);
+    c.var.assign(dim_, 1.0);
+  }
+
+  std::vector<double> logp(comps_.size());
+  Matrix resp(n, comps_.size());
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  constexpr int kMaxIter = 60;
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < comps_.size(); ++c)
+        logp[c] = std::log(std::max(comps_[c].weight, 1e-12)) +
+                  log_density(comps_[c], {z.row(i), dim_}, dim_);
+      const double lse = log_sum_exp(logp);
+      ll += lse;
+      for (std::size_t c = 0; c < comps_.size(); ++c)
+        resp.at(i, c) = std::exp(logp[c] - lse);
+    }
+    // M-step.
+    for (std::size_t c = 0; c < comps_.size(); ++c) {
+      double nk = 0.0;
+      for (std::size_t i = 0; i < n; ++i) nk += resp.at(i, c);
+      nk = std::max(nk, 1e-9);
+      comps_[c].weight = nk / static_cast<double>(n);
+      for (std::size_t d = 0; d < dim_; ++d) {
+        double m = 0.0;
+        for (std::size_t i = 0; i < n; ++i) m += resp.at(i, c) * z.at(i, d);
+        m /= nk;
+        double v = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double diff = z.at(i, d) - m;
+          v += resp.at(i, c) * diff * diff;
+        }
+        comps_[c].mean[d] = m;
+        comps_[c].var[d] = std::max(v / nk, kMinVar);
+      }
+    }
+    if (std::abs(ll - prev_ll) < 1e-6 * (1.0 + std::abs(ll))) break;
+    prev_ll = ll;
+  }
+
+  // Residual sigma on training data (in original y units).
+  OnlineStats resid;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(x.row(i), x.row(i) + p);
+    fitted_ = true;  // predict() requires the flag
+    resid.add(y[i] - predict(row));
+  }
+  sigma_ = resid.count() >= 2 ? resid.stddev() : 0.0;
+  fitted_ = true;
+}
+
+double GmmRegressor::predict(std::span<const double> x) const {
+  assert(fitted_);
+  const std::size_t p = dim_ - 1;
+  assert(x.size() == p);
+  std::vector<double> zx(p);
+  for (std::size_t j = 0; j < p; ++j)
+    zx[j] = (x[j] - feat_mean_[j]) / feat_scale_[j];
+
+  std::vector<double> logp(comps_.size());
+  for (std::size_t c = 0; c < comps_.size(); ++c)
+    logp[c] = std::log(std::max(comps_[c].weight, 1e-12)) +
+              log_density(comps_[c], zx, p);
+  const double lse = log_sum_exp(logp);
+  // With diagonal covariance, the per-component conditional mean of y given x
+  // is just the component's y-mean.
+  double zy = 0.0;
+  for (std::size_t c = 0; c < comps_.size(); ++c)
+    zy += std::exp(logp[c] - lse) * comps_[c].mean[p];
+  return y_mean_ + y_scale_ * zy;
+}
+
+}  // namespace murphy::stats

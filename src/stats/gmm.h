@@ -1,0 +1,51 @@
+// Gaussian mixture model regressor.
+//
+// Fits a diagonal-covariance GMM to the joint (x, y) vectors with EM, then
+// predicts E[y | x] as the responsibility-weighted mixture of per-component
+// conditional means. One of the four candidate factor models of Fig. 8a.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stats/predictor.h"
+
+namespace murphy::stats {
+
+class GmmRegressor final : public Predictor {
+ public:
+  GmmRegressor(int components, std::uint64_t seed);
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  [[nodiscard]] double residual_sigma() const override { return sigma_; }
+  [[nodiscard]] ModelKind kind() const override { return ModelKind::kGmm; }
+
+  [[nodiscard]] int num_components() const {
+    return static_cast<int>(comps_.size());
+  }
+
+ private:
+  struct Component {
+    double weight = 0.0;
+    Vector mean;  // joint (x..., y) mean; y is the last dimension
+    Vector var;   // diagonal variances, same layout
+  };
+
+  // log N(z | comp) over the x-dimensions only (for prediction) or all
+  // dimensions (during EM), controlled by `dims`.
+  [[nodiscard]] double log_density(const Component& c,
+                                   std::span<const double> z,
+                                   std::size_t dims) const;
+
+  int requested_components_;
+  std::uint64_t seed_;
+  std::vector<Component> comps_;
+  std::size_t dim_ = 0;  // joint dimension = p + 1
+  double sigma_ = 0.0;
+  Vector feat_mean_, feat_scale_;  // standardization of x dims
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace murphy::stats

@@ -1,0 +1,106 @@
+#include "src/stats/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace murphy::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* x = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      double* gi = g.row(i);
+      for (std::size_t j = i; j < cols_; ++j) gi[j] += xi * x[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j) g.at(i, j) = g.at(j, i);
+  return g;
+}
+
+Vector Matrix::transpose_times(const Vector& v) const {
+  assert(v.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* x = row(r);
+    const double vr = v[r];
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += x[c] * vr;
+  }
+  return out;
+}
+
+Vector Matrix::times(const Vector& v) const {
+  assert(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* x = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += x[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+bool cholesky(Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a.at(j, k) * a.at(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = s / ljj;
+    }
+    // Zero the strictly-upper triangle so the factor is clean.
+    for (std::size_t c = j + 1; c < n; ++c) a.at(j, c) = 0.0;
+  }
+  return true;
+}
+
+Vector cholesky_solve(const Matrix& chol, const Vector& b) {
+  const std::size_t n = chol.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {  // forward: L y = b
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= chol.at(i, k) * y[k];
+    y[i] = s / chol.at(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {  // backward: L^T x = y
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= chol.at(k, ii) * x[k];
+    x[ii] = s / chol.at(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Vector> solve_spd(Matrix a, const Vector& b) {
+  if (!cholesky(a)) return std::nullopt;
+  return cholesky_solve(a, b);
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace murphy::stats

@@ -1,0 +1,168 @@
+#include "src/stats/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/stats/summary.h"
+
+namespace murphy::stats {
+
+MlpRegressor::MlpRegressor(int hidden_layers, int hidden_width, int epochs,
+                           double learning_rate, std::uint64_t seed)
+    : hidden_layers_(hidden_layers),
+      hidden_width_(hidden_width),
+      epochs_(epochs),
+      lr_(learning_rate),
+      seed_(seed) {
+  assert(hidden_layers >= 1 && hidden_width >= 1 && epochs >= 1);
+}
+
+double MlpRegressor::forward(std::span<const double> zx,
+                             std::vector<std::vector<double>>& acts) const {
+  acts.resize(layers_.size() + 1);
+  acts[0].assign(zx.begin(), zx.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool is_output = (l + 1 == layers_.size());
+    auto& out = acts[l + 1];
+    out.assign(layer.out_dim, 0.0);
+    for (std::size_t o = 0; o < layer.out_dim; ++o) {
+      double z = layer.biases[o];
+      const double* w = &layer.weights[o * layer.in_dim];
+      for (std::size_t i = 0; i < layer.in_dim; ++i) z += w[i] * acts[l][i];
+      out[o] = is_output ? z : std::tanh(z);
+    }
+  }
+  return acts.back()[0];
+}
+
+void MlpRegressor::fit(const Matrix& x, const Vector& y) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  assert(y.size() == n && n >= 1);
+
+  feat_mean_.assign(p, 0.0);
+  feat_scale_.assign(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    OnlineStats s;
+    for (std::size_t i = 0; i < n; ++i) s.add(x.at(i, j));
+    feat_mean_[j] = s.mean();
+    feat_scale_[j] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+  {
+    OnlineStats s;
+    for (double v : y) s.add(v);
+    y_mean_ = s.mean();
+    y_scale_ = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+
+  Matrix xs(n, p);
+  Vector ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j)
+      xs.at(i, j) = (x.at(i, j) - feat_mean_[j]) / feat_scale_[j];
+    ys[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  Rng rng(seed_);
+  layers_.clear();
+  std::size_t in_dim = p;
+  for (int l = 0; l < hidden_layers_; ++l) {
+    Layer layer;
+    layer.in_dim = in_dim;
+    layer.out_dim = static_cast<std::size_t>(hidden_width_);
+    layer.weights.resize(layer.in_dim * layer.out_dim);
+    layer.biases.assign(layer.out_dim, 0.0);
+    const double scale = std::sqrt(1.0 / static_cast<double>(in_dim));
+    for (auto& w : layer.weights) w = rng.normal(0.0, scale);
+    layer.w_vel.assign(layer.weights.size(), 0.0);
+    layer.b_vel.assign(layer.biases.size(), 0.0);
+    layers_.push_back(std::move(layer));
+    in_dim = static_cast<std::size_t>(hidden_width_);
+  }
+  {
+    Layer out;
+    out.in_dim = in_dim;
+    out.out_dim = 1;
+    out.weights.resize(in_dim);
+    const double scale = std::sqrt(1.0 / static_cast<double>(in_dim));
+    for (auto& w : out.weights) w = rng.normal(0.0, scale);
+    out.biases.assign(1, 0.0);
+    out.w_vel.assign(out.weights.size(), 0.0);
+    out.b_vel.assign(1, 0.0);
+    layers_.push_back(std::move(out));
+  }
+
+  constexpr double kMomentum = 0.9;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::vector<double>> acts;
+  std::vector<std::vector<double>> deltas(layers_.size());
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    for (std::size_t i = n; i-- > 1;)
+      std::swap(order[i], order[rng.below(i + 1)]);
+    const double eta = lr_ / (1.0 + 0.01 * epoch);
+    for (std::size_t idx : order) {
+      const double pred = forward({xs.row(idx), p}, acts);
+      const double err = pred - ys[idx];  // d(0.5*err^2)/dpred
+
+      // Backward pass.
+      for (std::size_t l = layers_.size(); l-- > 0;) {
+        Layer& layer = layers_[l];
+        const bool is_output = (l + 1 == layers_.size());
+        auto& delta = deltas[l];
+        delta.assign(layer.out_dim, 0.0);
+        if (is_output) {
+          delta[0] = err;
+        } else {
+          const Layer& next = layers_[l + 1];
+          for (std::size_t o = 0; o < layer.out_dim; ++o) {
+            double g = 0.0;
+            for (std::size_t no = 0; no < next.out_dim; ++no)
+              g += deltas[l + 1][no] * next.weights[no * next.in_dim + o];
+            const double a = acts[l + 1][o];
+            delta[o] = g * (1.0 - a * a);  // tanh'
+          }
+        }
+      }
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t o = 0; o < layer.out_dim; ++o) {
+          const double d = deltas[l][o];
+          double* w = &layer.weights[o * layer.in_dim];
+          double* wv = &layer.w_vel[o * layer.in_dim];
+          for (std::size_t i2 = 0; i2 < layer.in_dim; ++i2) {
+            wv[i2] = kMomentum * wv[i2] - eta * d * acts[l][i2];
+            w[i2] += wv[i2];
+          }
+          layer.b_vel[o] = kMomentum * layer.b_vel[o] - eta * d;
+          layer.biases[o] += layer.b_vel[o];
+        }
+      }
+    }
+  }
+
+  OnlineStats resid;
+  fitted_ = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(x.row(i), x.row(i) + p);
+    resid.add(y[i] - predict(row));
+  }
+  sigma_ = resid.count() >= 2 ? resid.stddev() : 0.0;
+}
+
+double MlpRegressor::predict(std::span<const double> x) const {
+  assert(fitted_);
+  assert(x.size() == feat_mean_.size());
+  std::vector<double> zx(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j)
+    zx[j] = (x[j] - feat_mean_[j]) / feat_scale_[j];
+  std::vector<std::vector<double>> acts;
+  const double zy = forward(zx, acts);
+  return y_mean_ + y_scale_ * zy;
+}
+
+}  // namespace murphy::stats

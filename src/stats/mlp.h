@@ -1,0 +1,52 @@
+// Small feed-forward neural network regressor (tanh hidden units, linear
+// output) trained with mini-batch SGD + momentum. Matches the paper's
+// footnote: "small neural networks up to 3 layers, with 5 neurons each".
+// One of the four candidate factor models of Fig. 8a.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stats/predictor.h"
+
+namespace murphy::stats {
+
+class MlpRegressor final : public Predictor {
+ public:
+  MlpRegressor(int hidden_layers, int hidden_width, int epochs,
+               double learning_rate, std::uint64_t seed);
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  [[nodiscard]] double residual_sigma() const override { return sigma_; }
+  [[nodiscard]] ModelKind kind() const override { return ModelKind::kMlp; }
+
+ private:
+  struct Layer {
+    // weights[out * in_dim + in]; biases[out].
+    std::vector<double> weights;
+    std::vector<double> biases;
+    std::vector<double> w_vel;  // momentum buffers
+    std::vector<double> b_vel;
+    std::size_t in_dim = 0;
+    std::size_t out_dim = 0;
+  };
+
+  // Forward pass on standardized input; fills per-layer activations.
+  double forward(std::span<const double> zx,
+                 std::vector<std::vector<double>>& acts) const;
+
+  int hidden_layers_;
+  int hidden_width_;
+  int epochs_;
+  double lr_;
+  std::uint64_t seed_;
+
+  std::vector<Layer> layers_;
+  Vector feat_mean_, feat_scale_;
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+  double sigma_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace murphy::stats

@@ -1,0 +1,97 @@
+#include "src/stats/ridge.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/stats/summary.h"
+
+namespace murphy::stats {
+
+RidgeRegression::RidgeRegression(double l2) : l2_(l2) { assert(l2 >= 0.0); }
+
+void RidgeRegression::fit(const Matrix& x, const Vector& y) {
+  fit_weighted(x, y, Vector(x.rows(), 1.0));
+}
+
+void RidgeRegression::fit_weighted(const Matrix& x, const Vector& y,
+                                   const Vector& weights) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  assert(y.size() == n && weights.size() == n);
+  assert(n >= 1);
+
+  double w_total = 0.0;
+  for (const double w : weights) {
+    assert(w >= 0.0);
+    w_total += w;
+  }
+  if (w_total <= 0.0) w_total = 1.0;
+
+  // Weighted standardization.
+  feat_mean_.assign(p, 0.0);
+  feat_scale_.assign(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += weights[i] * x.at(i, j);
+    m /= w_total;
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x.at(i, j) - m;
+      var += weights[i] * d * d;
+    }
+    var /= w_total;
+    feat_mean_[j] = m;
+    const double sd = std::sqrt(var);
+    feat_scale_[j] = sd > 1e-12 ? sd : 1.0;  // constant column -> weight 0
+  }
+  {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += weights[i] * y[i];
+    y_mean_ = m / w_total;
+  }
+
+  // Row-scale the standardized design by sqrt(w): the normal equations then
+  // solve the weighted least-squares problem.
+  Matrix xs(n, p);
+  Vector yc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sw = std::sqrt(weights[i]);
+    for (std::size_t j = 0; j < p; ++j)
+      xs.at(i, j) = sw * (x.at(i, j) - feat_mean_[j]) / feat_scale_[j];
+    yc[i] = sw * (y[i] - y_mean_);
+  }
+
+  Matrix a = xs.gram();
+  // Scale-invariant regularization: lambda grows with the effective sample
+  // mass so the model behaves consistently across training lengths.
+  const double lambda = l2_ * std::max(1.0, w_total) / 256.0;
+  for (std::size_t j = 0; j < p; ++j) a.at(j, j) += lambda + 1e-9;
+
+  const Vector b = xs.transpose_times(yc);
+  auto solved = solve_spd(a, b);
+  // The diagonal loading makes the system SPD in all practical cases; fall
+  // back to the mean-only model if numerics still fail.
+  w_ = solved ? std::move(*solved) : Vector(p, 0.0);
+
+  OnlineStats resid;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    double pred = y_mean_;
+    for (std::size_t j = 0; j < p; ++j)
+      pred += w_[j] * (x.at(i, j) - feat_mean_[j]) / feat_scale_[j];
+    resid.add(y[i] - pred);
+  }
+  sigma_ = resid.count() >= 2 ? resid.stddev() : 0.0;
+  fitted_ = true;
+}
+
+double RidgeRegression::predict(std::span<const double> x) const {
+  assert(fitted_);
+  assert(x.size() == w_.size());
+  double out = y_mean_;
+  for (std::size_t j = 0; j < x.size(); ++j)
+    out += w_[j] * (x[j] - feat_mean_[j]) / feat_scale_[j];
+  return out;
+}
+
+}  // namespace murphy::stats

@@ -1,0 +1,41 @@
+// Ridge regression — the metric-prediction model Murphy ships with.
+//
+// Closed-form solve of (X^T X + lambda I) w = X^T y on standardized features,
+// with an unpenalized intercept. Robust to collinear and constant columns,
+// and well-behaved with the few hundred training points available from one
+// week of telemetry.
+#pragma once
+
+#include "src/stats/predictor.h"
+
+namespace murphy::stats {
+
+class RidgeRegression final : public Predictor {
+ public:
+  explicit RidgeRegression(double l2 = 1.0);
+
+  void fit(const Matrix& x, const Vector& y) override;
+
+  // Weighted fit: row r contributes with weight w[r] >= 0 to the loss (and
+  // to the standardization statistics). Enables recency-weighted "offline +
+  // online" training (§7 of the paper, future work): long histories inform
+  // the model without drowning the freshest in-incident points.
+  void fit_weighted(const Matrix& x, const Vector& y, const Vector& weights);
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  [[nodiscard]] double residual_sigma() const override { return sigma_; }
+  [[nodiscard]] ModelKind kind() const override { return ModelKind::kRidge; }
+
+  // Weights in the standardized feature space (diagnostic / tests).
+  [[nodiscard]] const Vector& standardized_weights() const { return w_; }
+
+ private:
+  double l2_;
+  Vector w_;            // weights over standardized features
+  Vector feat_mean_;    // per-feature standardization
+  Vector feat_scale_;
+  double y_mean_ = 0.0;
+  double sigma_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace murphy::stats

@@ -1,0 +1,104 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace murphy::stats {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - mu) * (x - mu);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double zscore(double x, double mu, double sigma, double sigma_floor) {
+  return (x - mu) / std::max(sigma, sigma_floor);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return quantile(xs, 0.5);
+}
+
+double mad_sigma(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double med = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) dev[i] = std::abs(xs[i] - med);
+  const double mad = median(dev);
+  const double robust = 1.4826 * mad;
+  if (robust > 1e-12) return robust;
+  // MAD degenerates to 0 for heavily quantized series (>50% identical
+  // values); only then fall back to a fraction of the classic scale.
+  return 0.1 * stddev(xs);
+}
+
+double mase(std::span<const double> predicted, std::span<const double> actual) {
+  assert(predicted.size() == actual.size());
+  if (actual.size() < 2) return 0.0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    err += std::abs(predicted[i] - actual[i]);
+  err /= static_cast<double>(actual.size());
+
+  double naive = 0.0;
+  for (std::size_t i = 1; i < actual.size(); ++i)
+    naive += std::abs(actual[i] - actual[i - 1]);
+  naive /= static_cast<double>(actual.size() - 1);
+
+  if (naive < 1e-12) return err < 1e-12 ? 0.0 : 1e6;
+  return err / naive;
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace murphy::stats

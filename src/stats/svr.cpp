@@ -1,0 +1,128 @@
+#include "src/stats/svr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/stats/summary.h"
+
+namespace murphy::stats {
+
+LinearSvr::LinearSvr(double l2, double epsilon, int epochs, std::uint64_t seed,
+                     int rff_features)
+    : l2_(l2),
+      epsilon_(epsilon),
+      epochs_(epochs),
+      seed_(seed),
+      rff_features_(rff_features) {
+  assert(l2 > 0.0 && epsilon >= 0.0 && epochs >= 1 && rff_features >= 0);
+}
+
+Vector LinearSvr::transform(std::span<const double> x) const {
+  const std::size_t p = feat_mean_.size();
+  assert(x.size() == p);
+  Vector zx(p);
+  for (std::size_t j = 0; j < p; ++j)
+    zx[j] = (x[j] - feat_mean_[j]) / feat_scale_[j];
+  if (rff_features_ == 0) return zx;
+
+  // z(x) = sqrt(2/D) * cos(omega . x + b): inner products approximate the
+  // RBF kernel exp(-||x-x'||^2 / 2).
+  const auto d = static_cast<std::size_t>(rff_features_);
+  Vector out(d);
+  const double scale = std::sqrt(2.0 / static_cast<double>(d));
+  for (std::size_t k = 0; k < d; ++k) {
+    double acc = rff_phase_[k];
+    const double* omega = &rff_omega_[k * p];
+    for (std::size_t j = 0; j < p; ++j) acc += omega[j] * zx[j];
+    out[k] = scale * std::cos(acc);
+  }
+  return out;
+}
+
+void LinearSvr::fit(const Matrix& x, const Vector& y) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  assert(y.size() == n && n >= 1);
+
+  feat_mean_.assign(p, 0.0);
+  feat_scale_.assign(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    OnlineStats s;
+    for (std::size_t i = 0; i < n; ++i) s.add(x.at(i, j));
+    feat_mean_[j] = s.mean();
+    feat_scale_[j] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+  {
+    OnlineStats s;
+    for (double v : y) s.add(v);
+    y_mean_ = s.mean();
+    y_scale_ = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+
+  Rng rng(seed_);
+  if (rff_features_ > 0) {
+    const auto d = static_cast<std::size_t>(rff_features_);
+    rff_omega_.resize(d * p);
+    rff_phase_.resize(d);
+    // Bandwidth 1 in standardized space (gamma = 0.5).
+    for (auto& w : rff_omega_) w = rng.normal();
+    for (auto& b : rff_phase_) b = rng.uniform(0.0, 6.283185307179586);
+  }
+
+  // Pre-transform all rows once.
+  std::vector<Vector> feats(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(x.row(i), x.row(i) + p);
+    feats[i] = transform(row);
+  }
+  const std::size_t dim = feats.empty() ? 0 : feats[0].size();
+  Vector ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = (y[i] - y_mean_) / y_scale_;
+
+  w_.assign(dim, 0.0);
+  bias_ = 0.0;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const double lambda = l2_ / static_cast<double>(n);
+  std::size_t t = 0;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    for (std::size_t i = n; i-- > 1;)
+      std::swap(order[i], order[rng.below(i + 1)]);
+    for (std::size_t idx : order) {
+      ++t;
+      const double eta = 1.0 / (lambda * static_cast<double>(t) + 100.0);
+      const Vector& xi = feats[idx];
+      double pred = bias_;
+      for (std::size_t j = 0; j < dim; ++j) pred += w_[j] * xi[j];
+      const double err = pred - ys[idx];
+      // Subgradient of the epsilon-insensitive loss.
+      double g = 0.0;
+      if (err > epsilon_) g = 1.0;
+      else if (err < -epsilon_) g = -1.0;
+      for (std::size_t j = 0; j < dim; ++j)
+        w_[j] -= eta * (lambda * w_[j] + g * xi[j]);
+      bias_ -= eta * g;
+    }
+  }
+
+  OnlineStats resid;
+  fitted_ = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(x.row(i), x.row(i) + p);
+    resid.add(y[i] - predict(row));
+  }
+  sigma_ = resid.count() >= 2 ? resid.stddev() : 0.0;
+}
+
+double LinearSvr::predict(std::span<const double> x) const {
+  assert(fitted_);
+  const Vector f = transform(x);
+  double pred = bias_;
+  for (std::size_t j = 0; j < f.size(); ++j) pred += w_[j] * f[j];
+  return y_mean_ + y_scale_ * pred;
+}
+
+}  // namespace murphy::stats

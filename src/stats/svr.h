@@ -1,0 +1,46 @@
+// Support-vector regression trained by stochastic subgradient descent on the
+// epsilon-insensitive loss with L2 regularization (the Pegasos-style primal
+// formulation). With rff_features > 0 the input is first lifted through a
+// random Fourier feature map approximating an RBF kernel (Rahimi & Recht),
+// making this a kernel SVR — the model family the paper's "SVM" candidate
+// refers to. One of the four candidate factor models of Fig. 8a.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/stats/predictor.h"
+
+namespace murphy::stats {
+
+class LinearSvr final : public Predictor {
+ public:
+  LinearSvr(double l2, double epsilon, int epochs, std::uint64_t seed,
+            int rff_features = 0);
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] double predict(std::span<const double> x) const override;
+  [[nodiscard]] double residual_sigma() const override { return sigma_; }
+  [[nodiscard]] ModelKind kind() const override { return ModelKind::kSvr; }
+
+ private:
+  // Standardizes x and, when enabled, lifts it through the RFF map.
+  [[nodiscard]] Vector transform(std::span<const double> x) const;
+
+  double l2_;
+  double epsilon_;
+  int epochs_;
+  std::uint64_t seed_;
+  int rff_features_;
+
+  Vector w_;
+  double bias_ = 0.0;
+  Vector feat_mean_, feat_scale_;
+  // RFF parameters: omega is rff_features x input_dim (row-major), phase is
+  // per-feature. Empty when the model is purely linear.
+  Vector rff_omega_;
+  Vector rff_phase_;
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+  double sigma_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace murphy::stats

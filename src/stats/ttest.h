@@ -1,0 +1,31 @@
+// Welch's unequal-variance t-test, the statistical decision at the heart of
+// Murphy's counterfactual inference: the sampled symptom values under the
+// counterfactual root-cause value (d1) are compared with samples under the
+// factual value (d2); a significantly lower d1 implicates the candidate.
+#pragma once
+
+#include <span>
+
+namespace murphy::stats {
+
+struct TTestResult {
+  double t = 0.0;        // Welch t statistic (mean(x) - mean(y)) / se
+  double dof = 0.0;      // Welch-Satterthwaite degrees of freedom
+  double p_less = 1.0;   // one-sided p-value for H1: mean(x) < mean(y)
+  double p_two_sided = 1.0;
+};
+
+// Requires both samples to have >= 2 elements. Degenerate inputs (zero
+// variance on both sides) produce p = 1 when means are equal, p = 0/1 for the
+// appropriate direction otherwise.
+[[nodiscard]] TTestResult welch_t_test(std::span<const double> x,
+                                       std::span<const double> y);
+
+// Student-t CDF at t with `dof` degrees of freedom (via regularized
+// incomplete beta). Exposed for testing.
+[[nodiscard]] double student_t_cdf(double t, double dof);
+
+// Regularized incomplete beta function I_x(a, b) via continued fractions.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+}  // namespace murphy::stats

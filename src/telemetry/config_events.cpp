@@ -1,0 +1,46 @@
+#include "src/telemetry/config_events.h"
+
+#include <algorithm>
+
+namespace murphy::telemetry {
+
+std::string_view config_event_kind_name(ConfigEventKind k) {
+  switch (k) {
+    case ConfigEventKind::kEntitySpawned: return "entity_spawned";
+    case ConfigEventKind::kEntityDecommissioned: return "entity_decommissioned";
+    case ConfigEventKind::kVmMigrated: return "vm_migrated";
+    case ConfigEventKind::kResourcesResized: return "resources_resized";
+    case ConfigEventKind::kAppRedeployed: return "app_redeployed";
+    case ConfigEventKind::kConfigPushed: return "config_pushed";
+  }
+  return "unknown";
+}
+
+void ConfigEventLog::record(ConfigEvent event) {
+  events_.push_back(std::move(event));
+}
+
+std::vector<ConfigEvent> ConfigEventLog::in_window(TimeIndex from,
+                                                   TimeIndex to) const {
+  std::vector<ConfigEvent> out;
+  for (const auto& e : events_)
+    if (e.at >= from && e.at < to) out.push_back(e);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConfigEvent& a, const ConfigEvent& b) {
+                     return a.at > b.at;
+                   });
+  return out;
+}
+
+std::vector<ConfigEvent> ConfigEventLog::for_entity(EntityId entity) const {
+  std::vector<ConfigEvent> out;
+  for (const auto& e : events_)
+    if (e.entity == entity) out.push_back(e);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConfigEvent& a, const ConfigEvent& b) {
+                     return a.at > b.at;
+                   });
+  return out;
+}
+
+}  // namespace murphy::telemetry

@@ -1,0 +1,56 @@
+// Configuration-change events.
+//
+// §4.2 ("Edge cases"): newly spawned or reconfigured entities often have no
+// usable history, so alongside the metric-driven diagnosis Murphy presents
+// the operator with recent configuration changes (VM spawned, VM migrated,
+// resources resized, app redeployed). This is the minimal event log the
+// monitoring platforms of §2.1 expose for that purpose.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time_axis.h"
+
+namespace murphy::telemetry {
+
+enum class ConfigEventKind {
+  kEntitySpawned,
+  kEntityDecommissioned,
+  kVmMigrated,
+  kResourcesResized,
+  kAppRedeployed,
+  kConfigPushed,
+};
+
+[[nodiscard]] std::string_view config_event_kind_name(ConfigEventKind k);
+
+struct ConfigEvent {
+  ConfigEventKind kind = ConfigEventKind::kConfigPushed;
+  EntityId entity;
+  TimeIndex at = 0;
+  std::string detail;  // free-form, e.g. "vCPU 4 -> 8"
+};
+
+class ConfigEventLog {
+ public:
+  void record(ConfigEvent event);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const ConfigEvent& event(std::size_t i) const {
+    return events_[i];
+  }
+
+  // Events in [from, to), newest first.
+  [[nodiscard]] std::vector<ConfigEvent> in_window(TimeIndex from,
+                                                   TimeIndex to) const;
+  // Events touching one entity, newest first.
+  [[nodiscard]] std::vector<ConfigEvent> for_entity(EntityId entity) const;
+
+ private:
+  std::vector<ConfigEvent> events_;
+};
+
+}  // namespace murphy::telemetry

@@ -1,0 +1,80 @@
+#include "src/telemetry/csv_export.h"
+
+#include <fstream>
+
+#include "src/common/strings.h"
+
+namespace murphy::telemetry {
+namespace {
+
+// CSV-escapes a field (quotes when it contains a comma or quote).
+std::string field(std::string_view s) {
+  if (s.find(',') == std::string_view::npos &&
+      s.find('"') == std::string_view::npos)
+    return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void export_entities_csv(const MonitoringDb& db, std::ostream& out) {
+  out << "entity_id,type,name,app\n";
+  for (const EntityId id : db.all_entities()) {
+    const EntityInfo& info = db.entity(id);
+    out << id.value() << ',' << entity_type_name(info.type) << ','
+        << field(info.name) << ','
+        << (info.app.valid() ? field(db.app(info.app).name) : "") << '\n';
+  }
+}
+
+void export_associations_csv(const MonitoringDb& db, std::ostream& out) {
+  out << "entity_a,entity_b,kind,directed\n";
+  for (std::size_t i = 0; i < db.association_count(); ++i) {
+    const Association& a = db.association(i);
+    out << a.a.value() << ',' << a.b.value() << ','
+        << relation_kind_name(a.kind) << ',' << (a.directed ? 1 : 0) << '\n';
+  }
+}
+
+void export_metrics_csv(const MonitoringDb& db, std::ostream& out) {
+  out << "entity_id,metric,slice,value,valid\n";
+  for (const EntityId id : db.all_entities()) {
+    for (const MetricKindId kind : db.metrics().kinds_of(id)) {
+      const TimeSeries* ts = db.metrics().find(id, kind);
+      if (ts == nullptr) continue;
+      const auto name = db.catalog().name(kind);
+      for (TimeIndex t = 0; t < ts->size(); ++t) {
+        out << id.value() << ',' << name << ',' << t << ','
+            << format_double(ts->value(t), 6) << ','
+            << (ts->is_valid(t) ? 1 : 0) << '\n';
+      }
+    }
+  }
+}
+
+bool export_csv(const MonitoringDb& db, const std::string& path_prefix) {
+  {
+    std::ofstream f(path_prefix + "_entities.csv");
+    if (!f) return false;
+    export_entities_csv(db, f);
+  }
+  {
+    std::ofstream f(path_prefix + "_associations.csv");
+    if (!f) return false;
+    export_associations_csv(db, f);
+  }
+  {
+    std::ofstream f(path_prefix + "_metrics.csv");
+    if (!f) return false;
+    export_metrics_csv(db, f);
+  }
+  return true;
+}
+
+}  // namespace murphy::telemetry

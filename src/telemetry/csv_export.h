@@ -1,0 +1,27 @@
+// CSV export of a MonitoringDb — entities, associations and metric series.
+//
+// The paper publishes its DeathStarBench trace data as a public dataset;
+// this exporter produces the equivalent for any simulated environment so
+// results can be inspected or re-analyzed outside this library. Three files
+// are written: <prefix>_entities.csv, <prefix>_associations.csv and
+// <prefix>_metrics.csv (long format: entity, metric, slice, value, valid).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::telemetry {
+
+// Stream variants (unit-testable; no filesystem).
+void export_entities_csv(const MonitoringDb& db, std::ostream& out);
+void export_associations_csv(const MonitoringDb& db, std::ostream& out);
+void export_metrics_csv(const MonitoringDb& db, std::ostream& out);
+
+// Writes all three files under the given path prefix. Returns false if any
+// file could not be opened.
+[[nodiscard]] bool export_csv(const MonitoringDb& db,
+                              const std::string& path_prefix);
+
+}  // namespace murphy::telemetry

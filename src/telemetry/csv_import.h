@@ -1,0 +1,43 @@
+// CSV import — the inverse of csv_export.
+//
+// Rebuilds a MonitoringDb from the three files the exporter writes, so
+// captured datasets (or externally produced ones in the same schema) can be
+// diagnosed offline: export a production window, load it on a laptop, run
+// Murphy. Entity ids are re-assigned densely on import; names are the stable
+// key, and associations/metrics refer to entities by their exported id.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::telemetry {
+
+struct ImportError {
+  std::string message;
+  std::size_t line = 0;  // 1-based line in the offending file
+};
+
+struct ImportResult {
+  MonitoringDb db;
+  std::size_t entities = 0;
+  std::size_t associations = 0;
+  std::size_t series = 0;
+};
+
+// Stream-based import. The metrics stream must use the long format written
+// by export_metrics_csv; `interval_seconds` sets the rebuilt axis (the CSV
+// stores slice indices, not wall-clock times). Returns nullopt and fills
+// `error` on malformed input.
+[[nodiscard]] std::optional<ImportResult> import_csv(
+    std::istream& entities, std::istream& associations, std::istream& metrics,
+    double interval_seconds, ImportError* error = nullptr);
+
+// File-based convenience matching export_csv's path scheme.
+[[nodiscard]] std::optional<ImportResult> import_csv_files(
+    const std::string& path_prefix, double interval_seconds,
+    ImportError* error = nullptr);
+
+}  // namespace murphy::telemetry

@@ -1,0 +1,41 @@
+#include "src/telemetry/entity.h"
+
+namespace murphy::telemetry {
+
+std::string_view entity_type_name(EntityType t) {
+  switch (t) {
+    case EntityType::kVm: return "vm";
+    case EntityType::kHost: return "host";
+    case EntityType::kContainer: return "container";
+    case EntityType::kVirtualNic: return "vnic";
+    case EntityType::kPhysicalNic: return "pnic";
+    case EntityType::kFlow: return "flow";
+    case EntityType::kSwitch: return "switch";
+    case EntityType::kSwitchPort: return "switch_port";
+    case EntityType::kDatastore: return "datastore";
+    case EntityType::kService: return "service";
+    case EntityType::kClient: return "client";
+    case EntityType::kNode: return "node";
+  }
+  return "unknown";
+}
+
+std::string_view relation_kind_name(RelationKind k) {
+  switch (k) {
+    case RelationKind::kVmOnHost: return "vm_on_host";
+    case RelationKind::kVnicOfVm: return "vnic_of_vm";
+    case RelationKind::kPnicOfHost: return "pnic_of_host";
+    case RelationKind::kFlowEndpoint: return "flow_endpoint";
+    case RelationKind::kPortOfSwitch: return "port_of_switch";
+    case RelationKind::kHostUplink: return "host_uplink";
+    case RelationKind::kVmOnDatastore: return "vm_on_datastore";
+    case RelationKind::kServiceOnContainer: return "service_on_container";
+    case RelationKind::kContainerOnNode: return "container_on_node";
+    case RelationKind::kCallerCallee: return "caller_callee";
+    case RelationKind::kClientOfService: return "client_of_service";
+    case RelationKind::kGeneric: return "generic";
+  }
+  return "unknown";
+}
+
+}  // namespace murphy::telemetry

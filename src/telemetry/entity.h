@@ -1,0 +1,60 @@
+// Entity model of the monitoring substrate.
+//
+// Mirrors the entity/metric taxonomy of the enterprise observability platform
+// described in §2.1 of the paper: VMs, hosts, containers, virtual and
+// physical NICs, flows, switch interfaces, datastores — plus microservice
+// entities (services, clients) for the DeathStarBench-style environments.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/ids.h"
+
+namespace murphy::telemetry {
+
+enum class EntityType {
+  kVm,
+  kHost,
+  kContainer,
+  kVirtualNic,
+  kPhysicalNic,
+  kFlow,
+  kSwitch,
+  kSwitchPort,
+  kDatastore,
+  kService,
+  kClient,
+  kNode,  // bare-metal / k8s worker node
+};
+
+[[nodiscard]] std::string_view entity_type_name(EntityType t);
+
+// How two entities are associated in the monitoring metadata. These are the
+// "loose neighborhood relationships" of §4.1 — they imply *potential*
+// influence, not causal direction.
+enum class RelationKind {
+  kVmOnHost,          // VM <-> its physical host
+  kVnicOfVm,          // virtual NIC <-> its VM
+  kPnicOfHost,        // physical NIC <-> its host
+  kFlowEndpoint,      // flow <-> source or destination VM/container
+  kPortOfSwitch,      // switch interface <-> switch
+  kHostUplink,        // host pNIC <-> ToR switch port
+  kVmOnDatastore,     // VM <-> backing datastore
+  kServiceOnContainer,  // microservice <-> container it runs in
+  kContainerOnNode,   // container <-> node/host
+  kCallerCallee,      // RPC caller -> callee (directed when known)
+  kClientOfService,   // workload client <-> entry service
+  kGeneric,
+};
+
+[[nodiscard]] std::string_view relation_kind_name(RelationKind k);
+
+struct EntityInfo {
+  EntityId id;
+  EntityType type = EntityType::kVm;
+  std::string name;
+  AppId app;  // invalid when the entity belongs to no defined application
+};
+
+}  // namespace murphy::telemetry

@@ -1,0 +1,27 @@
+#include "src/telemetry/metric_catalog.h"
+
+#include <cassert>
+
+namespace murphy::telemetry {
+
+MetricKindId MetricCatalog::intern(std::string_view name) {
+  if (auto it = index_.find(std::string(name)); it != index_.end())
+    return it->second;
+  const MetricKindId id(static_cast<std::uint32_t>(names_.size()));
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+MetricKindId MetricCatalog::find(std::string_view name) const {
+  if (auto it = index_.find(std::string(name)); it != index_.end())
+    return it->second;
+  return MetricKindId::invalid();
+}
+
+std::string_view MetricCatalog::name(MetricKindId id) const {
+  assert(id.valid() && id.value() < names_.size());
+  return names_[id.value()];
+}
+
+}  // namespace murphy::telemetry

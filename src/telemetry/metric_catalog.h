@@ -1,0 +1,51 @@
+// Metric kind interning and the catalog of well-known metric names.
+//
+// Metric kinds ("cpu_util", "rtt", ...) are interned to dense MetricKindId
+// handles so the learning code can use flat arrays instead of string maps.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace murphy::telemetry {
+
+class MetricCatalog {
+ public:
+  // Returns the id of `name`, interning it on first use.
+  MetricKindId intern(std::string_view name);
+  // Returns the id if known, invalid otherwise. Does not intern.
+  [[nodiscard]] MetricKindId find(std::string_view name) const;
+  [[nodiscard]] std::string_view name(MetricKindId id) const;
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, MetricKindId> index_;
+};
+
+// Well-known metric names used throughout the repository. Matching the
+// paper's table of example metrics per entity type (§2.1).
+namespace metrics {
+inline constexpr std::string_view kCpuUtil = "cpu_util";            // %
+inline constexpr std::string_view kMemUtil = "mem_util";            // %
+inline constexpr std::string_view kDiskIo = "disk_io_rate";         // MB/s
+inline constexpr std::string_view kDiskUtil = "disk_util";          // %
+inline constexpr std::string_view kNetTx = "net_tx_rate";           // MB/s
+inline constexpr std::string_view kNetRx = "net_rx_rate";           // MB/s
+inline constexpr std::string_view kPacketDrops = "packet_drops";    // %
+inline constexpr std::string_view kLatency = "latency_ms";          // ms
+inline constexpr std::string_view kRtt = "rtt_ms";                  // ms
+inline constexpr std::string_view kThroughput = "throughput";       // MB/s
+inline constexpr std::string_view kSessionCount = "session_count";  // count
+inline constexpr std::string_view kRetransmitRatio = "retransmit_ratio";
+inline constexpr std::string_view kBufferUtil = "peak_buffer_util";  // %
+inline constexpr std::string_view kSpaceUtil = "space_util";         // %
+inline constexpr std::string_view kRequestRate = "request_rate";     // req/s
+inline constexpr std::string_view kErrorRate = "error_rate";         // %
+}  // namespace metrics
+
+}  // namespace murphy::telemetry

@@ -1,0 +1,88 @@
+#include "src/telemetry/metric_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace murphy::telemetry {
+
+TimeSeries::TimeSeries(std::vector<double> values)
+    : values_(std::move(values)), valid_(values_.size(), true) {}
+
+TimeSeries::TimeSeries(std::vector<double> values, std::vector<bool> valid)
+    : values_(std::move(values)), valid_(std::move(valid)) {
+  assert(values_.size() == valid_.size());
+}
+
+double TimeSeries::value_or(TimeIndex t, double fallback) const {
+  if (t >= values_.size() || !valid_[t]) return fallback;
+  return values_[t];
+}
+
+void TimeSeries::set(TimeIndex t, double v) {
+  assert(t < values_.size());
+  values_[t] = v;
+  valid_[t] = true;
+}
+
+void TimeSeries::invalidate(TimeIndex t) {
+  assert(t < values_.size());
+  valid_[t] = false;
+}
+
+void TimeSeries::invalidate_before(TimeIndex t) {
+  const TimeIndex end = std::min(t, values_.size());
+  for (TimeIndex i = 0; i < end; ++i) valid_[i] = false;
+}
+
+std::vector<double> TimeSeries::window(TimeIndex from, TimeIndex to,
+                                       double fallback) const {
+  assert(from <= to && to <= values_.size());
+  std::vector<double> out;
+  out.reserve(to - from);
+  for (TimeIndex t = from; t < to; ++t) out.push_back(value_or(t, fallback));
+  return out;
+}
+
+void MetricStore::put(EntityId entity, MetricKindId kind,
+                      std::vector<double> values) {
+  put(entity, kind, TimeSeries(std::move(values)));
+}
+
+void MetricStore::put(EntityId entity, MetricKindId kind, TimeSeries series) {
+  assert(series.size() == axis_.size());
+  const MetricRef ref{entity, kind};
+  const bool fresh = series_.find(ref) == series_.end();
+  series_.insert_or_assign(ref, std::move(series));
+  if (fresh) kinds_[entity].push_back(kind);
+}
+
+const TimeSeries* MetricStore::find(EntityId entity, MetricKindId kind) const {
+  const auto it = series_.find(MetricRef{entity, kind});
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+TimeSeries* MetricStore::find_mutable(EntityId entity, MetricKindId kind) {
+  const auto it = series_.find(MetricRef{entity, kind});
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<MetricKindId> MetricStore::kinds_of(EntityId entity) const {
+  const auto it = kinds_.find(entity);
+  return it == kinds_.end() ? std::vector<MetricKindId>{} : it->second;
+}
+
+void MetricStore::erase(EntityId entity, MetricKindId kind) {
+  series_.erase(MetricRef{entity, kind});
+  if (auto it = kinds_.find(entity); it != kinds_.end()) {
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), kind), v.end());
+  }
+}
+
+void MetricStore::erase_entity(EntityId entity) {
+  for (const MetricKindId kind : kinds_of(entity))
+    series_.erase(MetricRef{entity, kind});
+  kinds_.erase(entity);
+}
+
+}  // namespace murphy::telemetry

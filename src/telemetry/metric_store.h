@@ -1,0 +1,85 @@
+// Time-series storage for entity metrics.
+//
+// All series share one TimeAxis (the monitoring platform's collection grid).
+// Values may be missing — a newly spawned entity has no history, and the
+// robustness experiments (Table 2) deliberately delete values — so each
+// series carries a validity mask alongside its values.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time_axis.h"
+
+namespace murphy::telemetry {
+
+// One metric's samples on the store's axis, with per-slice validity.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values);
+  TimeSeries(std::vector<double> values, std::vector<bool> valid);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] double value(TimeIndex t) const { return values_[t]; }
+  [[nodiscard]] bool is_valid(TimeIndex t) const { return valid_[t]; }
+  // Value at t, or `fallback` when the slice is missing. The paper uses a
+  // default (e.g. 0% CPU) as placeholder for missing history (§4.2).
+  [[nodiscard]] double value_or(TimeIndex t, double fallback) const;
+
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  void set(TimeIndex t, double v);
+  void invalidate(TimeIndex t);
+  // Drop history before `t` (keeps values from t onward). Used by the
+  // "missing values" degradation, which removes history but keeps the
+  // incident window.
+  void invalidate_before(TimeIndex t);
+
+  // Values restricted to [from, to) with missing slices replaced by
+  // `fallback`; the shape the trainers consume.
+  [[nodiscard]] std::vector<double> window(TimeIndex from, TimeIndex to,
+                                           double fallback = 0.0) const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<bool> valid_;
+};
+
+class MetricStore {
+ public:
+  MetricStore() = default;
+  explicit MetricStore(TimeAxis axis) : axis_(axis) {}
+
+  [[nodiscard]] const TimeAxis& axis() const { return axis_; }
+  void set_axis(TimeAxis axis) { axis_ = axis; }
+
+  // Replaces any existing series for (entity, kind). `values.size()` must
+  // equal axis().size().
+  void put(EntityId entity, MetricKindId kind, std::vector<double> values);
+  void put(EntityId entity, MetricKindId kind, TimeSeries series);
+
+  [[nodiscard]] const TimeSeries* find(EntityId entity,
+                                       MetricKindId kind) const;
+  [[nodiscard]] TimeSeries* find_mutable(EntityId entity, MetricKindId kind);
+
+  // Metric kinds recorded for this entity, in insertion order.
+  [[nodiscard]] std::vector<MetricKindId> kinds_of(EntityId entity) const;
+
+  // Removes one metric (Table 2 "missing metric" degradation).
+  void erase(EntityId entity, MetricKindId kind);
+  // Removes all series of an entity (Table 2 "missing entity").
+  void erase_entity(EntityId entity);
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+
+ private:
+  TimeAxis axis_;
+  std::unordered_map<MetricRef, TimeSeries> series_;
+  std::unordered_map<EntityId, std::vector<MetricKindId>> kinds_;
+};
+
+}  // namespace murphy::telemetry

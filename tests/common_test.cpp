@@ -1,0 +1,119 @@
+// Tests for the common substrate: strong identifiers, string helpers, and
+// RNG distribution edge behaviour not covered by the stats suite.
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/time_axis.h"
+#include "src/stats/summary.h"
+
+namespace murphy {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  EntityId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, EntityId::invalid());
+  EXPECT_TRUE(EntityId(0).valid());
+}
+
+TEST(StrongId, DistinctTagTypesDoNotMix) {
+  // Compile-time property: EntityId and AppId are different types. The
+  // runtime check below just exercises equality/ordering.
+  EXPECT_EQ(EntityId(3), EntityId(3));
+  EXPECT_NE(EntityId(3), EntityId(4));
+  EXPECT_LT(EntityId(3), EntityId(4));
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_set<EntityId> set;
+  set.insert(EntityId(1));
+  set.insert(EntityId(2));
+  set.insert(EntityId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(MetricRefTest, PacksEntityAndKind) {
+  const MetricRef a{EntityId(1), MetricKindId(2)};
+  const MetricRef b{EntityId(1), MetricKindId(2)};
+  const MetricRef c{EntityId(2), MetricKindId(1)};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(std::hash<MetricRef>{}(a), std::hash<MetricRef>{}(c));
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, "-"), "solo");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_left("1234", 2), "12");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(0.8617, 2), "0.86");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+  EXPECT_EQ(format_double(std::nan(""), 2), "nan");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("flow-app0", "flow-"));
+  EXPECT_FALSE(starts_with("app0-flow", "flow-"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(RngDistributions, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  stats::OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(RngDistributions, ChanceFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  // Degenerate probabilities.
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngDistributions, BelowCoversFullRangeWithoutBias) {
+  Rng rng(23);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9200);
+    EXPECT_LT(c, 10800);
+  }
+}
+
+TEST(RngDistributions, BelowOneAlwaysZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(TimeAxisExtra, EmptyAxisBehaviour) {
+  TimeAxis axis;
+  EXPECT_TRUE(axis.empty());
+  EXPECT_EQ(axis.index_of(123.0), 0u);
+}
+
+TEST(TimeAxisExtra, EqualityIncludesAllFields) {
+  EXPECT_EQ(TimeAxis(0.0, 10.0, 5), TimeAxis(0.0, 10.0, 5));
+  EXPECT_NE(TimeAxis(0.0, 10.0, 5), TimeAxis(0.0, 10.0, 6));
+  EXPECT_NE(TimeAxis(0.0, 10.0, 5), TimeAxis(1.0, 10.0, 5));
+}
+
+}  // namespace
+}  // namespace murphy

@@ -1,0 +1,393 @@
+// Tests for the Murphy core: thresholds, metric space, factor training,
+// counterfactual sampling, candidate search, labeling/explanations and the
+// end-to-end diagnoser on both microservice and enterprise scenarios.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/anomaly.h"
+#include "src/core/explain.h"
+#include "src/core/murphy.h"
+#include "src/core/sampler.h"
+#include "src/emulation/scenarios.h"
+#include "src/enterprise/incidents.h"
+#include "src/telemetry/metric_catalog.h"
+#include "src/stats/summary.h"
+
+namespace murphy::core {
+namespace {
+
+namespace mk = telemetry::metrics;
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+TEST(Thresholds, PerKindRules) {
+  const Thresholds t;
+  EXPECT_TRUE(t.is_above(mk::kCpuUtil, 30.0));
+  EXPECT_FALSE(t.is_above(mk::kCpuUtil, 20.0));
+  EXPECT_TRUE(t.is_above(mk::kPacketDrops, 0.2));
+  EXPECT_FALSE(t.is_above(mk::kPacketDrops, 0.05));
+  EXPECT_TRUE(t.is_above(mk::kSessionCount, 60.0));
+  EXPECT_TRUE(t.is_above(mk::kThroughput, 10.0));
+  EXPECT_TRUE(t.is_above(mk::kLatency, 80.0));
+  EXPECT_FALSE(t.is_above("unknown_metric", 1e9));
+}
+
+// A small chain A -> B -> C where B = 2A + noise, C = 3B + noise.
+// Bidirectional edges make it cyclic, like real relationship graphs.
+struct ChainFixture {
+  MonitoringDb db;
+  EntityId a, b, c;
+  MetricKindId load;
+  graph::RelationshipGraph graph;
+  std::unique_ptr<MetricSpace> space;
+  std::unique_ptr<FactorSet> factors;
+
+  explicit ChainFixture(std::size_t slices = 200, double surge_at_end = 0.0) {
+    a = db.add_entity(EntityType::kVm, "A");
+    b = db.add_entity(EntityType::kVm, "B");
+    c = db.add_entity(EntityType::kVm, "C");
+    db.add_association(a, b, RelationKind::kGeneric);
+    db.add_association(b, c, RelationKind::kGeneric);
+    load = db.catalog().intern("cpu_util");
+    db.metrics().set_axis(TimeAxis(0.0, 10.0, slices));
+
+    Rng rng(77);
+    std::vector<double> va(slices), vb(slices), vc(slices);
+    for (std::size_t t = 0; t < slices; ++t) {
+      double base = 5.0 + 3.0 * std::sin(0.07 * static_cast<double>(t)) +
+                    rng.normal(0.0, 0.2);
+      if (surge_at_end > 0.0 && t >= slices - slices / 10) base += surge_at_end;
+      va[t] = base;
+      vb[t] = 2.0 * va[t] + rng.normal(0.0, 0.3);
+      vc[t] = 3.0 * vb[t] + rng.normal(0.0, 0.5);
+    }
+    db.metrics().put(a, load, va);
+    db.metrics().put(b, load, vb);
+    db.metrics().put(c, load, vc);
+
+    const std::vector<EntityId> seeds{c};
+    graph = graph::RelationshipGraph::build(db, seeds, 5);
+    space = std::make_unique<MetricSpace>(db, graph);
+    FactorTrainingOptions opts;
+    factors = std::make_unique<FactorSet>(db, graph, *space, 0, slices, opts);
+  }
+};
+
+TEST(MetricSpace, EnumeratesAllVariables) {
+  ChainFixture f;
+  EXPECT_EQ(f.space->size(), 3u);
+  const auto v = f.space->find(f.b, f.load);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(f.space->var(*v).entity, f.b);
+  EXPECT_FALSE(f.space->find(f.b, MetricKindId(99)).has_value());
+}
+
+TEST(MetricSpace, SnapshotReadsCurrentSlice) {
+  ChainFixture f;
+  const auto state = f.space->snapshot(f.db, 100);
+  const auto va = f.space->find(f.a, f.load);
+  const auto* ts = f.db.metrics().find(f.a, f.load);
+  EXPECT_DOUBLE_EQ(state[*va], ts->value(100));
+}
+
+TEST(FactorModel, LearnsLinearNeighborRelationship) {
+  ChainFixture f;
+  const auto vb = *f.space->find(f.b, f.load);
+  const auto va = *f.space->find(f.a, f.load);
+  const auto vc = *f.space->find(f.c, f.load);
+  auto state = f.space->snapshot(f.db, 150);
+
+  // B's conditional shares weight between its collinear neighbors A and C;
+  // set both coherently (B = 2A, C = 3B = 6A) and predict B ~ 2A.
+  state[va] = 10.0;
+  state[vc] = 60.0;
+  const double pred = f.factors->conditional(vb).predict(state);
+  EXPECT_NEAR(pred, 20.0, 2.5);
+  state[va] = 4.0;
+  state[vc] = 24.0;
+  EXPECT_NEAR(f.factors->conditional(vb).predict(state), 8.0, 2.5);
+}
+
+TEST(FactorModel, ResidualSigmaIsSmallForCleanRelationship) {
+  ChainFixture f;
+  const auto vb = *f.space->find(f.b, f.load);
+  EXPECT_LT(f.factors->conditional(vb).residual_sigma(), 1.5);
+  EXPECT_GT(f.factors->conditional(vb).hist_sigma(), 2.0);  // marginal varies
+}
+
+TEST(FactorModel, HistoricalMomentsStored)  {
+  ChainFixture f;
+  const auto va = *f.space->find(f.a, f.load);
+  EXPECT_NEAR(f.factors->conditional(va).hist_mean(), 5.0, 1.5);
+}
+
+TEST(FactorModel, ResampleNodeUpdatesAllItsMetrics) {
+  ChainFixture f;
+  const auto vb = *f.space->find(f.b, f.load);
+  auto state = f.space->snapshot(f.db, 150);
+  const auto va = *f.space->find(f.a, f.load);
+  const auto vc = *f.space->find(f.c, f.load);
+  // B's ridge conditional shares weight between its collinear neighbors A
+  // and C (deliberately — see FactorTrainingOptions); move both coherently
+  // (B = 2A, C = 3B) so the expected resample mean is well defined.
+  state[va] = 12.0;
+  state[vc] = 72.0;
+  Rng rng(5);
+  const auto node_b = *f.graph.index_of(f.b);
+  stats::OnlineStats samples;
+  for (int i = 0; i < 200; ++i) {
+    auto s = state;
+    f.factors->resample_node(node_b, *f.space, s, rng);
+    samples.add(s[vb]);
+  }
+  EXPECT_NEAR(samples.mean(), 24.0, 2.5);
+  EXPECT_GT(samples.stddev(), 0.05);  // it actually samples, not predicts
+}
+
+TEST(Sampler, CounterfactualPropagatesAcrossTwoHops) {
+  // During a surge on A, counterfactualizing A back to normal should drop
+  // C's sampled value: A is found to be a root cause of C's high metric.
+  ChainFixture f(200, /*surge_at_end=*/15.0);
+  const auto na = *f.graph.index_of(f.a);
+  const auto nc = *f.graph.index_of(f.c);
+  const auto va = *f.space->find(f.a, f.load);
+  const auto vc = *f.space->find(f.c, f.load);
+  const auto state = f.space->snapshot(f.db, 199);
+
+  SamplerOptions opts;
+  opts.num_samples = 300;
+  CounterfactualSampler sampler(f.graph, *f.space, *f.factors, opts);
+  const auto verdict =
+      sampler.evaluate(na, va, nc, vc, state, /*symptom_high=*/true);
+  EXPECT_TRUE(verdict.is_root_cause);
+  EXPECT_LT(verdict.mean_counterfactual, verdict.mean_factual - 1.0);
+}
+
+TEST(Sampler, DisconnectedEntityIsNeverRootCause) {
+  // An entity with no path to the symptom cannot be a root cause: the
+  // sampler must refuse without sampling. (Reverse-direction influence
+  // through bidirectional edges, by contrast, is real in an MRF — the paper
+  // is explicit that candidates are correlated, not proven causal.)
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  const auto d = db.add_entity(EntityType::kVm, "d");  // isolated
+  db.add_association(a, b, RelationKind::kGeneric);
+  const auto load = db.catalog().intern("cpu_util");
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, 50));
+  Rng rng(4);
+  for (const auto e : {a, b, d}) {
+    std::vector<double> v(50);
+    for (auto& x : v) x = rng.normal(10.0, 1.0);
+    db.metrics().put(e, load, v);
+  }
+  const std::vector<EntityId> seeds{a, d};
+  const auto g = graph::RelationshipGraph::build(db, seeds, 3);
+  ASSERT_TRUE(g.index_of(d).has_value());
+  MetricSpace space(db, g);
+  FactorTrainingOptions topts;
+  FactorSet factors(db, g, space, 0, 50, topts);
+  const auto state = space.snapshot(db, 49);
+
+  SamplerOptions opts;
+  opts.num_samples = 50;
+  CounterfactualSampler sampler(g, space, factors, opts);
+  const auto verdict = sampler.evaluate(
+      *g.index_of(d), *space.find(d, load), *g.index_of(a),
+      *space.find(a, load), state, /*symptom_high=*/true);
+  EXPECT_FALSE(verdict.is_root_cause);
+  EXPECT_DOUBLE_EQ(verdict.p_value, 1.0);
+}
+
+TEST(Anomaly, ScoresScaleWithDeviation) {
+  ChainFixture f(200, 15.0);
+  const auto va = *f.space->find(f.a, f.load);
+  const auto state = f.space->snapshot(f.db, 199);
+  const double high = variable_anomaly(*f.factors, va, state[va]);
+  const auto calm_state = f.space->snapshot(f.db, 100);
+  const double low = variable_anomaly(*f.factors, va, calm_state[va]);
+  EXPECT_GT(high, low + 1.0);
+}
+
+TEST(Anomaly, NodeAnomalyPicksDriverAndDirection) {
+  ChainFixture f(200, 15.0);
+  const auto na = *f.graph.index_of(f.a);
+  const auto state = f.space->snapshot(f.db, 199);
+  const auto anomaly = node_anomaly(*f.factors, *f.space, na, state);
+  EXPECT_TRUE(anomaly.high);
+  EXPECT_EQ(f.space->var(anomaly.driver).entity, f.a);
+}
+
+TEST(CandidateSearch, PrunesCalmBranches) {
+  ChainFixture f(200, 15.0);
+  const auto nc = *f.graph.index_of(f.c);
+  const auto state = f.space->snapshot(f.db, 199);
+  CandidateSearchOptions opts;
+  const auto candidates = candidate_search(f.db, f.graph, *f.space,
+                                           *f.factors, state, nc, opts);
+  // All three entities are implicated during the surge.
+  EXPECT_EQ(candidates.size(), 3u);
+  // In the calm slice only the symptom node remains.
+  const auto calm = f.space->snapshot(f.db, 100);
+  const auto calm_candidates = candidate_search(f.db, f.graph, *f.space,
+                                                *f.factors, calm, nc, opts);
+  EXPECT_EQ(calm_candidates.size(), 1u);
+  EXPECT_EQ(calm_candidates[0], nc);
+}
+
+TEST(Explain, StateMachineRules) {
+  using L = EntityLabel;
+  EXPECT_TRUE(can_cause(L::kHeavyHitter, L::kHighDropRate));
+  EXPECT_TRUE(can_cause(L::kHeavyHitter, L::kDegraded));
+  EXPECT_TRUE(can_cause(L::kHeavyHitter, L::kHeavyHitter));
+  EXPECT_TRUE(can_cause(L::kHighDropRate, L::kDegraded));
+  EXPECT_TRUE(can_cause(L::kDegraded, L::kNonFunctional));
+  EXPECT_FALSE(can_cause(L::kOkay, L::kDegraded));
+  EXPECT_FALSE(can_cause(L::kDegraded, L::kHeavyHitter));
+  EXPECT_FALSE(can_cause(L::kHighDropRate, L::kHeavyHitter));
+}
+
+TEST(Explain, LabelsFromThresholdsAndCollapse) {
+  ChainFixture f(200, 40.0);  // big surge -> heavy hitter labels
+  const auto state = f.space->snapshot(f.db, 199);
+  const Thresholds th;
+  const auto na = *f.graph.index_of(f.a);
+  EXPECT_EQ(label_node(f.db, *f.space, *f.factors, na, state, th),
+            EntityLabel::kHeavyHitter);
+  const auto calm = f.space->snapshot(f.db, 100);
+  EXPECT_EQ(label_node(f.db, *f.space, *f.factors, na, calm, th),
+            EntityLabel::kOkay);
+}
+
+TEST(Explain, PathRespectsLabelsWhenPossible) {
+  ChainFixture f(200, 40.0);
+  const auto state = f.space->snapshot(f.db, 199);
+  const Thresholds th;
+  std::vector<EntityLabel> labels(f.graph.node_count());
+  for (graph::NodeIndex n = 0; n < f.graph.node_count(); ++n)
+    labels[n] = label_node(f.db, *f.space, *f.factors, n, state, th);
+  const auto na = *f.graph.index_of(f.a);
+  const auto nc = *f.graph.index_of(f.c);
+  const auto path = explanation_path(f.graph, labels, na, nc);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), na);
+  EXPECT_EQ(path.back(), nc);
+  const auto text = render_explanation(f.db, f.graph, labels, path);
+  EXPECT_NE(text.find("'A'"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+// --- end-to-end -------------------------------------------------------------
+
+TEST(MurphyEndToEnd, ChainRootCauseRankedFirst) {
+  ChainFixture f(200, 15.0);
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 200;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &f.db;
+  req.symptom_entity = f.c;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  const auto result = murphy.diagnose(req);
+  ASSERT_FALSE(result.causes.empty());
+  EXPECT_GE(result.rank_of(f.a), 1u);
+  EXPECT_LE(result.rank_of(f.a), 3u);
+  EXPECT_EQ(result.causes.size(), result.explanations.size());
+}
+
+TEST(MurphyEndToEnd, InterferenceScenario) {
+  emulation::InterferenceOptions iopts;
+  iopts.slices = 240;
+  iopts.ramp_at = 180;
+  iopts.seed = 3;
+  auto c = emulation::make_interference_case(iopts);
+
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 150;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &c.db;
+  req.symptom_entity = c.symptom_entity;
+  req.symptom_metric = c.symptom_metric;
+  req.now = 239;
+  req.train_begin = 0;
+  req.train_end = 240;
+  const auto result = murphy.diagnose(req);
+  const auto rank = result.rank_of(c.root_cause);
+  ASSERT_GE(rank, 1u) << "root cause not produced";
+  EXPECT_LE(rank, 5u);
+}
+
+TEST(MurphyEndToEnd, EnterpriseCrawlerIncident) {
+  enterprise::IncidentDatasetOptions opts;
+  opts.topology.num_apps = 6;
+  opts.topology.hosts = 8;
+  opts.topology.tors = 2;
+  opts.topology.ports_per_tor = 8;
+  opts.topology.datastores = 3;
+  opts.dynamics.slices = 168;
+  const auto inc = enterprise::make_incident(2, opts);
+
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 150;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &inc.topo.db;
+  req.symptom_entity = inc.symptom_entity;
+  req.symptom_metric = inc.symptom_metric;
+  req.now = inc.incident_end - 1;
+  req.train_begin = 0;
+  req.train_end = inc.incident_end;
+  const auto result = murphy.diagnose(req);
+  const auto rank = result.rank_of(inc.ground_truth[0]);
+  ASSERT_GE(rank, 1u) << "crawler flow not produced";
+  EXPECT_LE(rank, 5u);
+}
+
+TEST(MurphyEndToEnd, DeterministicAcrossRuns) {
+  ChainFixture f(200, 15.0);
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 100;
+  DiagnosisRequest req;
+  req.db = &f.db;
+  req.symptom_entity = f.c;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  MurphyDiagnoser m1(mopts), m2(mopts);
+  const auto r1 = m1.diagnose(req);
+  const auto r2 = m2.diagnose(req);
+  ASSERT_EQ(r1.causes.size(), r2.causes.size());
+  for (std::size_t i = 0; i < r1.causes.size(); ++i)
+    EXPECT_EQ(r1.causes[i].entity, r2.causes[i].entity);
+}
+
+TEST(MurphyEndToEnd, HandlesMissingHistoryGracefully) {
+  // Invalidate most of A's history; Murphy should still run (placeholder
+  // defaults per §4.2 "Edge cases") and produce some result.
+  ChainFixture f(200, 15.0);
+  auto* ts = f.db.metrics().find_mutable(f.a, f.load);
+  ts->invalidate_before(150);
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 100;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &f.db;
+  req.symptom_entity = f.c;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  const auto result = murphy.diagnose(req);
+  EXPECT_FALSE(result.causes.empty());
+}
+
+}  // namespace
+}  // namespace murphy::core

@@ -1,0 +1,302 @@
+// Tests for the microservice emulation substrate: app topologies, demand
+// propagation, queueing behaviour, fault injection effects and the scenario
+// builders' invariants.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/emulation/app_model.h"
+#include "src/emulation/faults.h"
+#include "src/emulation/scenarios.h"
+#include "src/emulation/simulator.h"
+#include "src/emulation/workload.h"
+#include "src/graph/relationship_graph.h"
+#include "src/stats/summary.h"
+
+namespace murphy::emulation {
+namespace {
+
+TEST(AppModel, HotelReservationCensus) {
+  const AppModel app = make_hotel_reservation();
+  EXPECT_EQ(app.services.size(), 8u);
+  EXPECT_EQ(app.containers.size(), 8u);
+  EXPECT_EQ(app.nodes.size(), 7u);
+  // 16 relationship-graph entities (services + containers), per §5.1.2.
+  EXPECT_EQ(app.services.size() + app.containers.size(), 16u);
+}
+
+TEST(AppModel, SocialNetworkCensus) {
+  const AppModel app = make_social_network();
+  EXPECT_EQ(app.services.size(), 24u);
+  // 57 total entities: services + containers + node.
+  EXPECT_EQ(app.services.size() + app.containers.size() + app.nodes.size(),
+            57u);
+}
+
+TEST(AppModel, DemandVectorPropagatesFanout) {
+  const AppModel app = make_hotel_reservation();
+  const auto frontend = app.find_service("frontend");
+  const auto d = app.demand_vector(frontend);
+  EXPECT_DOUBLE_EQ(d[frontend], 1.0);
+  // search is called once per frontend request; geo once per search request.
+  EXPECT_DOUBLE_EQ(d[app.find_service("search")], 1.0);
+  EXPECT_DOUBLE_EQ(d[app.find_service("geo")], 1.0);
+  // profile: direct (1.0) + via search (1.0 * 0.7) + via recommendation
+  // (0.5 * 0.5).
+  EXPECT_NEAR(d[app.find_service("profile")], 1.95, 1e-12);
+  // rate: via search (1.0) + via recommendation (0.5 * 0.5).
+  EXPECT_NEAR(d[app.find_service("rate")], 1.25, 1e-12);
+  // user: direct 0.8 + via reservation 0.3*0.5.
+  EXPECT_NEAR(d[app.find_service("user")], 0.95, 1e-12);
+}
+
+TEST(AppModel, CallTreeCoversReachableServicesOnly) {
+  const AppModel app = make_hotel_reservation();
+  const auto tree = app.call_tree(app.find_service("search"));
+  // search -> geo, rate, profile. Nothing upstream.
+  EXPECT_EQ(tree.size(), 4u);
+  const auto t2 = app.call_tree(app.find_service("geo"));
+  EXPECT_EQ(t2.size(), 1u);
+}
+
+TEST(Workload, StepLoadRampsAtGivenSlice) {
+  Rng rng(1);
+  const auto sched = step_load(100, 10.0, 200.0, 60, 40, 0.0, rng);
+  EXPECT_NEAR(sched[59], 10.0, 1e-9);
+  EXPECT_NEAR(sched[60], 200.0, 1e-9);
+  EXPECT_NEAR(sched[99], 200.0, 1e-9);
+}
+
+TEST(Workload, BurstMultipliesWindow) {
+  std::vector<double> sched(10, 5.0);
+  add_burst(sched, 3, 2, 4.0);
+  EXPECT_DOUBLE_EQ(sched[2], 5.0);
+  EXPECT_DOUBLE_EQ(sched[3], 20.0);
+  EXPECT_DOUBLE_EQ(sched[4], 20.0);
+  EXPECT_DOUBLE_EQ(sched[5], 5.0);
+}
+
+TEST(Workload, DiurnalLoadOscillates) {
+  Rng rng(2);
+  const auto sched = diurnal_load(100, 50.0, 0.4, 100, 0.0, rng);
+  const double hi = *std::max_element(sched.begin(), sched.end());
+  const double lo = *std::min_element(sched.begin(), sched.end());
+  EXPECT_GT(hi, 65.0);
+  EXPECT_LT(lo, 35.0);
+}
+
+TEST(Faults, PressureOnlyDuringWindowAndTarget) {
+  std::vector<Fault> faults{{FaultKind::kCpuStress, 2, 10, 5, 0.5}};
+  EXPECT_DOUBLE_EQ(pressure_at(faults, 2, 4.0, 9).cpu_cores, 0.0);
+  EXPECT_DOUBLE_EQ(pressure_at(faults, 2, 4.0, 10).cpu_cores, 2.0);
+  EXPECT_DOUBLE_EQ(pressure_at(faults, 2, 4.0, 14).cpu_cores, 2.0);
+  EXPECT_DOUBLE_EQ(pressure_at(faults, 2, 4.0, 15).cpu_cores, 0.0);
+  EXPECT_DOUBLE_EQ(pressure_at(faults, 1, 4.0, 12).cpu_cores, 0.0);
+}
+
+TEST(Faults, MemAndDiskStressAlsoCostSomeCpu) {
+  std::vector<Fault> mem{{FaultKind::kMemStress, 0, 0, 10, 0.8}};
+  const auto pm = pressure_at(mem, 0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(pm.mem_fraction, 0.8);
+  EXPECT_GT(pm.cpu_cores, 0.0);
+  std::vector<Fault> disk{{FaultKind::kDiskStress, 0, 0, 10, 0.5}};
+  const auto pd = pressure_at(disk, 0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(pd.disk_mbps, 50.0);
+  EXPECT_GT(pd.cpu_cores, 0.0);
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static AppModel app_with_client(double rps, std::size_t slices) {
+    AppModel app = make_hotel_reservation();
+    Rng rng(3);
+    ClientSpec c;
+    c.name = "client";
+    c.entry_service = app.find_service("frontend");
+    c.rps_schedule = steady_load(slices, rps, 0.02, rng);
+    app.clients.push_back(c);
+    return app;
+  }
+};
+
+TEST_F(SimulatorTest, PopulatesAllEntitiesAndMetrics) {
+  const auto app = app_with_client(20.0, 60);
+  SimOptions opts;
+  opts.slices = 60;
+  const auto res = simulate(app, {}, opts);
+  EXPECT_EQ(res.entities.services.size(), 8u);
+  EXPECT_EQ(res.entities.containers.size(), 8u);
+  EXPECT_EQ(res.entities.nodes.size(), 7u);
+  EXPECT_EQ(res.entities.clients.size(), 1u);
+  // service latency + rate, container cpu/mem/disk/net, node cpu, client 2.
+  EXPECT_EQ(res.db.metrics().series_count(),
+            8u * 2 + 8u * 4 + 7u * 1 + 1u * 2);
+  const auto axis = res.db.metrics().axis();
+  EXPECT_EQ(axis.size(), 60u);
+  EXPECT_DOUBLE_EQ(axis.interval(), 10.0);
+}
+
+TEST_F(SimulatorTest, LatencyIncreasesWithLoad) {
+  SimOptions opts;
+  opts.slices = 60;
+  const auto light = simulate(app_with_client(10.0, 60), {}, opts);
+  const auto heavy = simulate(app_with_client(300.0, 60), {}, opts);
+  const double l_lat = stats::mean(light.client_latency[0]);
+  const double h_lat = stats::mean(heavy.client_latency[0]);
+  EXPECT_GT(h_lat, l_lat * 1.5);
+}
+
+TEST_F(SimulatorTest, CpuStressRaisesTargetUtilAndClientLatency) {
+  SimOptions opts;
+  opts.slices = 120;
+  const auto app = app_with_client(30.0, 120);
+  const ContainerIdx target =
+      app.services[app.find_service("search")].container;
+  std::vector<Fault> faults{{FaultKind::kCpuStress, target, 60, 60, 0.95}};
+  const auto res = simulate(app, faults, opts);
+
+  const auto& util = res.container_util[target];
+  const double before = stats::mean(std::span(util).subspan(0, 60));
+  const double during = stats::mean(std::span(util).subspan(60, 60));
+  EXPECT_GT(during, before + 30.0);  // cpu% jump
+
+  const auto& lat = res.client_latency[0];
+  const double lat_before = stats::mean(std::span(lat).subspan(0, 60));
+  const double lat_during = stats::mean(std::span(lat).subspan(60, 60));
+  EXPECT_GT(lat_during, lat_before * 1.3);
+}
+
+TEST_F(SimulatorTest, NodeContentionCouplesColocatedContainers) {
+  // reservation and user share node 6; stressing reservation's container
+  // must inflate user's latency through the shared node.
+  AppModel app = app_with_client(30.0, 120);
+  const auto reserve_ctr =
+      app.services[app.find_service("reservation")].container;
+  const auto user_svc = app.find_service("user");
+  ASSERT_EQ(app.containers[reserve_ctr].node,
+            app.containers[app.services[user_svc].container].node);
+
+  SimOptions opts;
+  opts.slices = 120;
+  std::vector<Fault> faults{
+      {FaultKind::kCpuStress, reserve_ctr, 60, 60, 3.5}};
+  const auto res = simulate(app, faults, opts);
+
+  const auto* lat = res.db.metrics().find(
+      res.entities.services[user_svc],
+      res.db.catalog().find(telemetry::metrics::kLatency));
+  ASSERT_NE(lat, nullptr);
+  const auto w_before = lat->window(0, 60);
+  const auto w_during = lat->window(60, 120);
+  EXPECT_GT(stats::mean(w_during), stats::mean(w_before) * 1.2);
+}
+
+TEST_F(SimulatorTest, BidirectionalFlagControlsCycles) {
+  const auto app = app_with_client(20.0, 30);
+  SimOptions opts;
+  opts.slices = 30;
+  opts.bidirectional_call_edges = true;
+  const auto cyc = simulate(app, {}, opts);
+  const auto seeds = std::vector<EntityId>{cyc.entities.clients[0]};
+  const auto g = graph::RelationshipGraph::build(cyc.db, seeds, 10);
+  EXPECT_FALSE(g.is_dag());
+
+  opts.bidirectional_call_edges = false;
+  const auto dag = simulate(app, {}, opts);
+  const auto seeds2 = std::vector<EntityId>{dag.entities.clients[0]};
+  const auto g2 = graph::RelationshipGraph::build(dag.db, seeds2, 10);
+  // Call and client edges are directed; container/node associations remain
+  // bidirectional, so restrict to the service layer: caller->callee edges
+  // must not form cycles.
+  bool cycle_among_services = false;
+  for (const auto& e : g2.edges()) {
+    if (e.kind != telemetry::RelationKind::kCallerCallee) continue;
+    // directed edge: reverse must not exist
+    for (const auto& e2 : g2.edges()) {
+      if (e2.kind == telemetry::RelationKind::kCallerCallee &&
+          e2.src == e.dst && e2.dst == e.src)
+        cycle_among_services = true;
+    }
+  }
+  EXPECT_FALSE(cycle_among_services);
+}
+
+TEST(Scenarios, InterferenceCaseShape) {
+  InterferenceOptions opts;
+  opts.slices = 120;
+  opts.ramp_at = 80;
+  const auto c = make_interference_case(opts);
+  EXPECT_EQ(c.symptom_entity, c.entities.clients[1]);
+  EXPECT_EQ(c.root_cause, c.entities.clients[0]);
+  EXPECT_GE(c.relaxed_set.size(), 3u);
+  EXPECT_EQ(c.incident_start, 80u);
+
+  // Victim latency must actually spike after the ramp.
+  const auto* lat = c.db.metrics().find(
+      c.symptom_entity, c.db.catalog().find(telemetry::metrics::kLatency));
+  ASSERT_NE(lat, nullptr);
+  const double before = stats::mean(lat->window(0, 80));
+  const double after = stats::mean(lat->window(80, 120));
+  EXPECT_GT(after, before * 1.3);
+}
+
+TEST(Scenarios, InterferenceSweepVariesIntensity) {
+  const auto sweep = interference_sweep(32, 7);
+  EXPECT_EQ(sweep.size(), 32u);
+  stats::OnlineStats s;
+  for (const auto& o : sweep) s.add(o.aggressor_high_rps);
+  EXPECT_GT(s.max() - s.min(), 50.0);  // actually swept
+}
+
+TEST(Scenarios, ContentionCaseFaultsAServiceContainer) {
+  ContentionOptions opts;
+  opts.app = ContentionOptions::App::kSocialNetwork;
+  opts.seed = 5;
+  opts.slices = 240;
+  const auto c = make_contention_case(opts);
+  // Root cause is a container hosting at least one service.
+  bool hosts_service = false;
+  for (const auto e : c.relaxed_set)
+    if (c.db.entity(e).type == telemetry::EntityType::kService)
+      hosts_service = true;
+  EXPECT_TRUE(hosts_service);
+  EXPECT_EQ(c.db.entity(c.root_cause).type,
+            telemetry::EntityType::kContainer);
+  EXPECT_GT(c.incident_start, 0u);
+  EXPECT_LE(c.incident_end, 240u);
+}
+
+TEST(Scenarios, ContentionSweepCoversAllFaultKinds) {
+  const auto sweep =
+      contention_sweep(ContentionOptions::App::kHotelReservation, 60, 4, 11);
+  EXPECT_EQ(sweep.size(), 60u);
+  bool cpu = false, mem = false, disk = false;
+  for (const auto& o : sweep) {
+    cpu |= o.fault == FaultKind::kCpuStress;
+    mem |= o.fault == FaultKind::kMemStress;
+    disk |= o.fault == FaultKind::kDiskStress;
+  }
+  EXPECT_TRUE(cpu && mem && disk);
+}
+
+TEST(Scenarios, DeterministicForSeed) {
+  InterferenceOptions opts;
+  opts.slices = 60;
+  opts.ramp_at = 40;
+  opts.seed = 99;
+  const auto a = make_interference_case(opts);
+  const auto b = make_interference_case(opts);
+  const auto* la = a.db.metrics().find(
+      a.symptom_entity, a.db.catalog().find(telemetry::metrics::kLatency));
+  const auto* lb = b.db.metrics().find(
+      b.symptom_entity, b.db.catalog().find(telemetry::metrics::kLatency));
+  ASSERT_NE(la, nullptr);
+  ASSERT_NE(lb, nullptr);
+  for (std::size_t t = 0; t < 60; ++t)
+    EXPECT_DOUBLE_EQ(la->value(t), lb->value(t));
+}
+
+}  // namespace
+}  // namespace murphy::emulation

@@ -1,0 +1,321 @@
+// Tests for the enterprise substrate: topology invariants, dynamic-model
+// couplings (including the cyclic host feedback), the 13-incident dataset
+// and the large metrics dataset.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/enterprise/incidents.h"
+#include "src/enterprise/metrics_dataset.h"
+#include "src/graph/relationship_graph.h"
+#include "src/stats/correlation.h"
+#include "src/stats/summary.h"
+
+namespace murphy::enterprise {
+namespace {
+
+namespace mk = telemetry::metrics;
+using telemetry::EntityType;
+
+TopologyOptions small_topology() {
+  TopologyOptions o;
+  o.num_apps = 6;
+  o.hosts = 8;
+  o.tors = 2;
+  o.ports_per_tor = 8;
+  o.datastores = 3;
+  o.seed = 42;
+  return o;
+}
+
+TEST(Topology, StructuralInvariants) {
+  const auto topo = generate_topology(small_topology());
+  EXPECT_EQ(topo.hosts.size(), 8u);
+  EXPECT_EQ(topo.tors.size(), 2u);
+  EXPECT_EQ(topo.switch_ports.size(), 16u);
+  EXPECT_EQ(topo.apps.size(), 6u);
+  EXPECT_EQ(topo.vms.size(), topo.vm_vnics.size());
+  EXPECT_EQ(topo.vms.size(), topo.vm_host.size());
+  for (const std::size_t h : topo.vm_host) EXPECT_LT(h, topo.hosts.size());
+  for (const auto& f : topo.flows) {
+    EXPECT_LT(f.src_vm, topo.vms.size());
+    EXPECT_LT(f.dst_vm, topo.vms.size());
+    EXPECT_GT(f.weight, 0.0);
+  }
+  // Every app has at least one VM in each tier list.
+  for (const auto& tier : topo.app_tiers) {
+    EXPECT_FALSE(tier.web.empty());
+    EXPECT_FALSE(tier.app.empty());
+    EXPECT_FALSE(tier.db.empty());
+  }
+}
+
+TEST(Topology, VmsOfAppAndFlowsOfVm) {
+  const auto topo = generate_topology(small_topology());
+  const auto vms = topo.vms_of_app(topo.apps[0]);
+  EXPECT_GE(vms.size(), 4u);
+  for (const std::size_t v : vms) EXPECT_EQ(topo.vm_app[v], topo.apps[0]);
+  if (!topo.flows.empty()) {
+    const auto fs = topo.flows_of_vm(topo.flows[0].src_vm);
+    EXPECT_FALSE(fs.empty());
+  }
+}
+
+TEST(Topology, RelationshipGraphIsCyclicLikeTheProduction) {
+  auto topo = generate_topology(small_topology());
+  DynamicsOptions dopt;
+  dopt.slices = 48;
+  generate_dynamics(topo, {}, dopt);
+  const std::vector<EntityId> seeds = {topo.vms[0]};
+  const auto g = graph::RelationshipGraph::build(topo.db, seeds, 4);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_GT(g.count_2cycles(), 10u);
+  EXPECT_GT(g.count_3cycles(), 0u);
+}
+
+class DynamicsTest : public ::testing::Test {
+ protected:
+  static Topology run(const std::vector<Perturbation>& perturbations,
+                      std::size_t slices = 96) {
+    auto topo = generate_topology(small_topology());
+    DynamicsOptions dopt;
+    dopt.slices = slices;
+    dopt.seed = 9;
+    generate_dynamics(topo, perturbations, dopt);
+    return topo;
+  }
+
+  static std::vector<double> series(const Topology& topo, EntityId e,
+                                    std::string_view metric) {
+    const auto* ts =
+        topo.db.metrics().find(e, topo.db.catalog().find(metric));
+    EXPECT_NE(ts, nullptr);
+    return ts ? std::vector<double>(ts->values().begin(), ts->values().end())
+              : std::vector<double>{};
+  }
+};
+
+TEST_F(DynamicsTest, EverySeriesPopulatedAndFinite) {
+  const auto topo = run({});
+  EXPECT_GT(topo.db.metrics().series_count(), 100u);
+  const auto cpu = series(topo, topo.vms[0], mk::kCpuUtil);
+  ASSERT_EQ(cpu.size(), 96u);
+  for (const double v : cpu) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST_F(DynamicsTest, FlowSurgeRaisesDestVmCpu) {
+  // Surge flow 0 in the second half; dst VM CPU must jump.
+  auto topo0 = generate_topology(small_topology());
+  const std::size_t dst = topo0.flows[0].dst_vm;
+  std::vector<Perturbation> p{
+      {PerturbationKind::kFlowSurge, 0, 48, 96, 10.0}};
+  const auto topo = run(p);
+  const auto cpu = series(topo, topo.vms[dst], mk::kCpuUtil);
+  const double before = stats::mean(std::span(cpu).subspan(0, 48));
+  const double during = stats::mean(std::span(cpu).subspan(48, 48));
+  EXPECT_GT(during, before + 5.0);
+  const auto thr = series(topo, topo.flows[0].id, mk::kThroughput);
+  EXPECT_GT(stats::mean(std::span(thr).subspan(48, 48)),
+            stats::mean(std::span(thr).subspan(0, 48)) * 4.0);
+}
+
+TEST_F(DynamicsTest, HostOverloadBackPressuresColocatedVms) {
+  auto topo0 = generate_topology(small_topology());
+  // Pick a host with at least 2 VMs.
+  std::size_t host = 0;
+  for (std::size_t h = 0; h < topo0.hosts.size(); ++h) {
+    std::size_t count = 0;
+    for (const std::size_t vh : topo0.vm_host) count += (vh == h);
+    if (count >= 2) {
+      host = h;
+      break;
+    }
+  }
+  std::vector<Perturbation> p{
+      {PerturbationKind::kHostOverload, host, 48, 96, 70.0}};
+  const auto topo = run(p);
+  // Every VM on the host sees elevated CPU during the overload.
+  for (std::size_t v = 0; v < topo.vms.size(); ++v) {
+    if (topo.vm_host[v] != host) continue;
+    const auto cpu = series(topo, topo.vms[v], mk::kCpuUtil);
+    const double before = stats::mean(std::span(cpu).subspan(0, 48));
+    const double during = stats::mean(std::span(cpu).subspan(48, 48));
+    EXPECT_GT(during, before * 1.1) << "vm " << v;
+  }
+  const auto hcpu = series(topo, topo.hosts[host], mk::kCpuUtil);
+  EXPECT_GT(stats::mean(std::span(hcpu).subspan(48, 48)), 60.0);
+}
+
+TEST_F(DynamicsTest, PortCongestionInflatesRttAndDrops) {
+  auto topo0 = generate_topology(small_topology());
+  const std::size_t port = topo0.host_tor_port[topo0.vm_host[0]];
+  std::vector<Perturbation> p{
+      {PerturbationKind::kPortCongestion, port, 48, 96, 950.0}};
+  const auto topo = run(p);
+  const auto drops = series(topo, topo.switch_ports[port], mk::kPacketDrops);
+  EXPECT_GT(stats::mean(std::span(drops).subspan(48, 48)),
+            stats::mean(std::span(drops).subspan(0, 48)) + 0.1);
+  // Some flow whose endpoint sits behind the port must see RTT inflation.
+  bool rtt_moved = false;
+  for (const auto& f : topo.flows) {
+    if (topo.host_tor_port[topo.vm_host[f.dst_vm]] != port) continue;
+    const auto rtt = series(topo, f.id, mk::kRtt);
+    if (stats::mean(std::span(rtt).subspan(48, 48)) >
+        stats::mean(std::span(rtt).subspan(0, 48)) * 1.5)
+      rtt_moved = true;
+  }
+  EXPECT_TRUE(rtt_moved);
+}
+
+TEST_F(DynamicsTest, VmCrashZeroesCpuAndItsFlows) {
+  std::vector<Perturbation> p{{PerturbationKind::kVmCrash, 0, 48, 96, 1.0}};
+  const auto topo = run(p);
+  const auto cpu = series(topo, topo.vms[0], mk::kCpuUtil);
+  EXPECT_LT(stats::mean(std::span(cpu).subspan(48, 48)), 1.0);
+  for (const std::size_t f : topo.flows_of_vm(0)) {
+    const auto thr = series(topo, topo.flows[f].id, mk::kThroughput);
+    EXPECT_LT(stats::mean(std::span(thr).subspan(48, 48)), 0.5);
+  }
+}
+
+TEST_F(DynamicsTest, MemLeakGrowsAcrossWindow) {
+  std::vector<Perturbation> p{{PerturbationKind::kVmMemLeak, 1, 48, 96, 50.0}};
+  const auto topo = run(p);
+  const auto memv = series(topo, topo.vms[1], mk::kMemUtil);
+  const double early = stats::mean(std::span(memv).subspan(48, 12));
+  const double late = stats::mean(std::span(memv).subspan(84, 12));
+  EXPECT_GT(late, early + 15.0);
+}
+
+TEST_F(DynamicsTest, CyclicCouplingVisibleInCorrelations) {
+  // Two VMs on the same host should have correlated CPU when the host is
+  // driven into contention — evidence of the v1 -> host -> v2 channel.
+  auto topo0 = generate_topology(small_topology());
+  std::size_t host = SIZE_MAX, v1 = 0, v2 = 0;
+  for (std::size_t h = 0; h < topo0.hosts.size() && host == SIZE_MAX; ++h) {
+    std::vector<std::size_t> on;
+    for (std::size_t v = 0; v < topo0.vms.size(); ++v)
+      if (topo0.vm_host[v] == h) on.push_back(v);
+    if (on.size() >= 2) {
+      host = h;
+      v1 = on[0];
+      v2 = on[1];
+    }
+  }
+  ASSERT_NE(host, SIZE_MAX);
+  // Strong periodic overload on the host.
+  std::vector<Perturbation> p;
+  for (TimeIndex t = 10; t + 6 < 96; t += 16)
+    p.push_back({PerturbationKind::kHostOverload, host, t, t + 6, 80.0});
+  const auto topo = run(p);
+  const auto c1 = series(topo, topo.vms[v1], mk::kCpuUtil);
+  const auto c2 = series(topo, topo.vms[v2], mk::kCpuUtil);
+  EXPECT_GT(stats::pearson(c1, c2), 0.3);
+}
+
+TEST(Incidents, DatasetHasThirteenWellFormedIncidents) {
+  IncidentDatasetOptions opts;
+  opts.topology = small_topology();
+  opts.dynamics.slices = 96;
+  const auto dataset = make_incident_dataset(opts);
+  ASSERT_EQ(dataset.size(), 13u);
+  std::set<int> numbers;
+  int calibration = 0;
+  for (const auto& inc : dataset) {
+    numbers.insert(inc.number);
+    calibration += inc.calibration ? 1 : 0;
+    EXPECT_TRUE(inc.symptom_entity.valid()) << inc.number;
+    EXPECT_FALSE(inc.ground_truth.empty()) << inc.number;
+    EXPECT_FALSE(inc.symptom_metric.empty()) << inc.number;
+    EXPECT_GT(inc.incident_start, 0u);
+    EXPECT_GT(inc.topo.db.metrics().series_count(), 0u);
+    // Symptom metric exists for the symptom entity.
+    const auto kind = inc.topo.db.catalog().find(inc.symptom_metric);
+    ASSERT_TRUE(kind.valid()) << inc.number;
+    EXPECT_NE(inc.topo.db.metrics().find(inc.symptom_entity, kind), nullptr)
+        << inc.number;
+  }
+  EXPECT_EQ(numbers.size(), 13u);
+  EXPECT_EQ(calibration, 2);  // incidents 2 and 13
+}
+
+TEST(Incidents, SymptomActuallyMoves) {
+  IncidentDatasetOptions opts;
+  opts.topology = small_topology();
+  opts.dynamics.slices = 96;
+  for (const int n : {2, 7, 9, 13}) {
+    const auto inc = make_incident(n, opts);
+    const auto kind = inc.topo.db.catalog().find(inc.symptom_metric);
+    const auto* ts = inc.topo.db.metrics().find(inc.symptom_entity, kind);
+    ASSERT_NE(ts, nullptr);
+    const auto before = ts->window(0, inc.incident_start);
+    const auto during =
+        ts->window(inc.incident_start, inc.incident_end);
+    const double mu = stats::mean(before);
+    const double sd = std::max(stats::stddev(before), 1e-3);
+    EXPECT_GT(stats::mean(during), mu + 2.0 * sd) << "incident " << n;
+  }
+}
+
+TEST(Incidents, CrawlerIncidentGroundTruthIsAFlow) {
+  IncidentDatasetOptions opts;
+  opts.topology = small_topology();
+  opts.dynamics.slices = 96;
+  const auto inc = make_incident(2, opts);
+  ASSERT_EQ(inc.ground_truth.size(), 1u);
+  EXPECT_EQ(inc.topo.db.entity(inc.ground_truth[0]).type, EntityType::kFlow);
+  EXPECT_TRUE(inc.calibration);
+  // Symptom is backend CPU, per Fig. 1.
+  EXPECT_EQ(inc.symptom_metric, mk::kCpuUtil);
+}
+
+TEST(Incidents, Incident10GroundTruthIsOperatorDecision) {
+  IncidentDatasetOptions opts;
+  opts.topology = small_topology();
+  opts.dynamics.slices = 96;
+  const auto inc = make_incident(10, opts);
+  // Injected = flows, ground truth = the rebooted VMs.
+  for (const auto e : inc.ground_truth)
+    EXPECT_EQ(inc.topo.db.entity(e).type, EntityType::kVm);
+  bool injected_flow = false;
+  for (const auto e : inc.injected)
+    injected_flow |= inc.topo.db.entity(e).type == EntityType::kFlow;
+  EXPECT_TRUE(injected_flow);
+}
+
+TEST(MetricsDataset, ScaledDownDatasetIsConsistent) {
+  MetricsDatasetOptions opts;
+  opts.scale = 0.05;  // ~15 apps for test speed
+  opts.slices = 64;
+  const auto topo = make_metrics_dataset(opts);
+  EXPECT_GE(topo.apps.size(), 10u);
+  EXPECT_GT(topo.entity_count(), 300u);
+  EXPECT_EQ(topo.db.metrics().axis().size(), 64u);
+  // Sanity: a random VM has all four metrics.
+  EXPECT_EQ(topo.db.metrics().kinds_of(topo.vms[0]).size(), 4u);
+}
+
+TEST(MetricsDataset, FullScaleCensusMatchesPaper) {
+  // Only the topology (not the week of dynamics) to keep the test fast.
+  TopologyOptions topt;
+  topt.num_apps = 300;
+  topt.min_vms_per_app = 4;
+  topt.max_vms_per_app = 20;
+  topt.hosts = 136;
+  topt.tors = 12;
+  topt.ports_per_tor = 16;
+  topt.datastores = 24;
+  topt.seed = 17;
+  const auto topo = generate_topology(topt);
+  // ~17K entities, per §5.1.1: VMs + vNICs + flows + fabric.
+  EXPECT_GT(topo.entity_count(), 12000u);
+  EXPECT_LT(topo.entity_count(), 25000u);
+  EXPECT_EQ(topo.apps.size(), 300u);
+}
+
+}  // namespace
+}  // namespace murphy::enterprise

@@ -1,0 +1,169 @@
+// Tests for the evaluation harness: scoring semantics, aggregation, the
+// degradation injectors and the recall-calibration procedure.
+#include <gtest/gtest.h>
+
+#include "src/baselines/explainit.h"
+#include "src/eval/degradation.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+#include "src/eval/tables.h"
+
+namespace murphy::eval {
+namespace {
+
+core::DiagnosisResult result_of(std::initializer_list<std::uint32_t> ids) {
+  core::DiagnosisResult r;
+  double score = 100.0;
+  for (const auto id : ids)
+    r.causes.push_back(core::RankedRootCause{EntityId(id), score--});
+  return r;
+}
+
+TEST(Metrics, ScoreResultRankAndPrecision) {
+  const auto result = result_of({10, 20, 30});
+  const std::vector<EntityId> truth{EntityId(20)};
+  const auto outcome = score_result(result, truth);
+  EXPECT_EQ(outcome.rank, 2u);
+  EXPECT_TRUE(outcome.hit(2));
+  EXPECT_FALSE(outcome.hit(1));
+  EXPECT_DOUBLE_EQ(outcome.precision(), 0.5);
+  EXPECT_EQ(outcome.false_positives, 2u);
+  EXPECT_EQ(outcome.output_size, 3u);
+}
+
+TEST(Metrics, MissingTruthGivesZero) {
+  const auto result = result_of({10, 20});
+  const std::vector<EntityId> truth{EntityId(99)};
+  const auto outcome = score_result(result, truth);
+  EXPECT_EQ(outcome.rank, 0u);
+  EXPECT_DOUBLE_EQ(outcome.precision(), 0.0);
+  EXPECT_EQ(outcome.false_positives, 2u);
+}
+
+TEST(Metrics, MultiEntityTruthUsesBestRank) {
+  const auto result = result_of({10, 20, 30});
+  const std::vector<EntityId> truth{EntityId(30), EntityId(20)};
+  const auto outcome = score_result(result, truth);
+  EXPECT_EQ(outcome.rank, 2u);
+  // Only entity 10 is a false positive.
+  EXPECT_EQ(outcome.false_positives, 1u);
+}
+
+TEST(Metrics, RelaxedSetWidensAcceptance) {
+  const auto result = result_of({10, 20});
+  const std::vector<EntityId> truth{EntityId(99)};
+  const std::vector<EntityId> relaxed{EntityId(99), EntityId(10)};
+  const auto outcome = score_result(result, truth, relaxed);
+  EXPECT_EQ(outcome.rank, 0u);
+  EXPECT_EQ(outcome.relaxed_rank, 1u);
+  EXPECT_TRUE(outcome.relaxed_hit(5));
+}
+
+TEST(Metrics, AccuracyAggregation) {
+  Accuracy acc;
+  CaseOutcome hit1;
+  hit1.rank = 1;
+  hit1.false_positives = 2;
+  CaseOutcome miss;
+  miss.rank = 0;
+  miss.false_positives = 4;
+  acc.add(hit1);
+  acc.add(miss);
+  EXPECT_DOUBLE_EQ(acc.top_k(1), 0.5);
+  EXPECT_DOUBLE_EQ(acc.top_k(5), 0.5);
+  EXPECT_DOUBLE_EQ(acc.mean_precision(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.mean_false_positives(), 3.0);
+  EXPECT_EQ(acc.total_false_positives(), 6u);
+}
+
+TEST(Runner, TruncatedCapsOutput) {
+  auto r = result_of({1, 2, 3, 4, 5});
+  const auto t = truncated(std::move(r), 2);
+  EXPECT_EQ(t.causes.size(), 2u);
+  EXPECT_EQ(t.causes[0].entity, EntityId(1));
+}
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  static emulation::DiagnosisCase make_case(std::uint64_t seed = 5) {
+    emulation::ContentionOptions opts;
+    opts.app = emulation::ContentionOptions::App::kHotelReservation;
+    opts.seed = seed;
+    opts.slices = 120;
+    opts.prior_incidents = 1;
+    return emulation::make_contention_case(opts);
+  }
+};
+
+TEST_F(DegradationTest, MissingValuesKeepsIncidentWindow) {
+  auto c = make_case();
+  Rng rng(9);
+  apply_degradation(c, Degradation::kMissingValues, rng);
+  // Some series lost pre-incident history; every series keeps the incident.
+  std::size_t degraded = 0;
+  for (const EntityId e : c.db.all_entities()) {
+    for (const MetricKindId kind : c.db.metrics().kinds_of(e)) {
+      const auto* ts = c.db.metrics().find(e, kind);
+      if (!ts->is_valid(0)) ++degraded;
+      EXPECT_TRUE(ts->is_valid(c.incident_start));
+    }
+  }
+  EXPECT_GT(degraded, 0u);
+}
+
+TEST_F(DegradationTest, MissingEdgeRemovesOneRpcAssociation) {
+  auto c = make_case();
+  const std::size_t before = c.db.association_count();
+  Rng rng(9);
+  apply_degradation(c, Degradation::kMissingEdge, rng);
+  EXPECT_EQ(c.db.association_count(), before - 1);
+}
+
+TEST_F(DegradationTest, MissingEntityPreservesTruthAndSymptom) {
+  auto c = make_case();
+  const std::size_t before = c.db.all_entities().size();
+  Rng rng(9);
+  apply_degradation(c, Degradation::kMissingEntity, rng);
+  EXPECT_EQ(c.db.all_entities().size(), before - 1);
+  EXPECT_TRUE(c.db.has_entity(c.symptom_entity));
+  EXPECT_TRUE(c.db.has_entity(c.root_cause));
+}
+
+TEST_F(DegradationTest, MissingMetricHitsRootCauseOnly) {
+  auto c = make_case();
+  const std::size_t before = c.db.metrics().kinds_of(c.root_cause).size();
+  Rng rng(9);
+  apply_degradation(c, Degradation::kMissingMetric, rng);
+  EXPECT_EQ(c.db.metrics().kinds_of(c.root_cause).size(), before - 1);
+}
+
+TEST_F(DegradationTest, DegradedCaseStillDiagnosable) {
+  // The pipeline must not crash on degraded inputs (robustness experiment's
+  // basic contract).
+  for (const auto d : {Degradation::kMissingValues, Degradation::kMissingEdge,
+                       Degradation::kMissingEntity,
+                       Degradation::kMissingMetric}) {
+    auto c = make_case(11);
+    Rng rng(13);
+    apply_degradation(c, d, rng);
+    baselines::ExplainIt explainit;
+    const auto outcome = run_case(explainit, c);
+    (void)outcome;  // any result is acceptable; crash/UB is not
+  }
+  SUCCEED();
+}
+
+TEST(Tables, RendersAlignedColumns) {
+  Table t({"scheme", "recall"});
+  t.add_row({"murphy", "0.86"});
+  t.add_row({"netmedic", "0.15"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("murphy"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Column alignment: "netmedic" defines the width.
+  EXPECT_NE(s.find("murphy  "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace murphy::eval

@@ -1,0 +1,468 @@
+// Tests for the extended features: symptom finder (Appendix A.1), config
+// event log (§4.2 edge cases), Jaeger-style tracing and call-graph
+// reconstruction, CSV export, narrative explanations and the multi-symptom
+// batch diagnoser.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/batch.h"
+#include "src/core/explain.h"
+#include "src/core/symptom_finder.h"
+#include "src/emulation/scenarios.h"
+#include "src/emulation/trace_discovery.h"
+#include "src/emulation/tracing.h"
+#include "src/enterprise/incidents.h"
+#include "src/telemetry/csv_export.h"
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy {
+namespace {
+
+using telemetry::ConfigEvent;
+using telemetry::ConfigEventKind;
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+// ---------- symptom finder ----------------------------------------------------
+
+class SymptomFinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = db_.define_app("web");
+    vm1_ = db_.add_entity(EntityType::kVm, "vm-ok", app_);
+    vm2_ = db_.add_entity(EntityType::kVm, "vm-hot", app_);
+    vm3_ = db_.add_entity(EntityType::kVm, "vm-dead", app_);
+    db_.metrics().set_axis(TimeAxis(0.0, 60.0, 100));
+    const auto cpu = db_.catalog().intern("cpu_util");
+    const auto rx = db_.catalog().intern("net_rx_rate");
+    Rng rng(3);
+    std::vector<double> ok(100), hot(100), dead(100);
+    for (std::size_t t = 0; t < 100; ++t) {
+      ok[t] = 10.0 + rng.normal(0.0, 1.0);
+      hot[t] = 12.0 + rng.normal(0.0, 1.0) + (t >= 95 ? 80.0 : 0.0);
+      dead[t] = t >= 95 ? 0.1 : 30.0 + rng.normal(0.0, 1.5);
+    }
+    db_.metrics().put(vm1_, cpu, ok);
+    db_.metrics().put(vm2_, cpu, hot);
+    db_.metrics().put(vm3_, rx, dead);
+  }
+
+  MonitoringDb db_;
+  AppId app_;
+  EntityId vm1_, vm2_, vm3_;
+};
+
+TEST_F(SymptomFinderTest, FindsSpikesAndCollapses) {
+  const auto symptoms = core::find_symptoms(db_, app_, 99);
+  ASSERT_EQ(symptoms.size(), 2u);
+  // Both abnormal entities present; healthy one absent.
+  bool hot = false, dead = false;
+  for (const auto& s : symptoms) {
+    hot |= s.entity == vm2_;
+    dead |= s.entity == vm3_;
+    EXPECT_NE(s.entity, vm1_);
+    EXPECT_GT(s.severity, 3.0);
+  }
+  EXPECT_TRUE(hot && dead);
+}
+
+TEST_F(SymptomFinderTest, HealthyWindowYieldsNothing) {
+  const auto symptoms = core::find_symptoms(db_, app_, 50);
+  EXPECT_TRUE(symptoms.empty());
+}
+
+TEST_F(SymptomFinderTest, OrderedBySeverityAndCapped) {
+  core::SymptomFinderOptions opts;
+  opts.max_symptoms = 1;
+  const auto symptoms = core::find_symptoms(db_, app_, 99, opts);
+  ASSERT_EQ(symptoms.size(), 1u);
+  // The CPU spike (80 on sigma ~1) outranks the collapse.
+  EXPECT_EQ(symptoms[0].entity, vm2_);
+}
+
+TEST_F(SymptomFinderTest, ExplicitEntityListVariant) {
+  const std::vector<EntityId> only{vm3_};
+  const auto symptoms = core::find_symptoms(db_, only, 99);
+  ASSERT_EQ(symptoms.size(), 1u);
+  EXPECT_EQ(symptoms[0].entity, vm3_);
+  EXPECT_EQ(symptoms[0].metric, "net_rx_rate");
+}
+
+// ---------- config events ------------------------------------------------------
+
+TEST(ConfigEvents, WindowAndEntityQueries) {
+  telemetry::ConfigEventLog log;
+  log.record(ConfigEvent{ConfigEventKind::kEntitySpawned, EntityId(1), 10,
+                         "vm created"});
+  log.record(ConfigEvent{ConfigEventKind::kVmMigrated, EntityId(1), 50,
+                         "host-2 -> host-5"});
+  log.record(ConfigEvent{ConfigEventKind::kAppRedeployed, EntityId(2), 52,
+                         "v1.3"});
+  EXPECT_EQ(log.size(), 3u);
+
+  const auto in_window = log.in_window(40, 60);
+  ASSERT_EQ(in_window.size(), 2u);
+  EXPECT_EQ(in_window[0].at, 52u);  // newest first
+  EXPECT_EQ(in_window[1].at, 50u);
+
+  const auto for_vm1 = log.for_entity(EntityId(1));
+  ASSERT_EQ(for_vm1.size(), 2u);
+  EXPECT_EQ(for_vm1[0].kind, ConfigEventKind::kVmMigrated);
+}
+
+TEST(ConfigEvents, SurfacedByMurphyDiagnosis) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  db.add_association(a, b, RelationKind::kGeneric);
+  const auto cpu = db.catalog().intern("cpu_util");
+  db.metrics().set_axis(TimeAxis(0.0, 60.0, 100));
+  Rng rng(1);
+  std::vector<double> va(100), vb(100);
+  for (std::size_t t = 0; t < 100; ++t) {
+    va[t] = 10 + rng.normal(0, 1) + (t >= 90 ? 40.0 : 0.0);
+    vb[t] = 2.0 * va[t] + rng.normal(0, 1);
+  }
+  db.metrics().put(a, cpu, va);
+  db.metrics().put(b, cpu, vb);
+  // One recent change, one ancient.
+  db.config_events().record(
+      ConfigEvent{ConfigEventKind::kResourcesResized, a, 95, "vCPU 2 -> 4"});
+  db.config_events().record(
+      ConfigEvent{ConfigEventKind::kEntitySpawned, a, 2, ""});
+
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 60;
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &db;
+  req.symptom_entity = b;
+  req.symptom_metric = "cpu_util";
+  req.now = 99;
+  req.train_begin = 0;
+  req.train_end = 100;
+  const auto result = murphy.diagnose(req);
+  ASSERT_EQ(result.recent_config_changes.size(), 1u);
+  EXPECT_EQ(result.recent_config_changes[0].kind,
+            ConfigEventKind::kResourcesResized);
+}
+
+// ---------- tracing -------------------------------------------------------------
+
+class TracingTest : public ::testing::Test {
+ protected:
+  emulation::AppModel app_ = emulation::make_hotel_reservation();
+};
+
+TEST_F(TracingTest, SpansFormValidTreeWithConsistentTiming) {
+  emulation::AppModel app = app_;
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  c.rps_schedule.assign(1, 10.0);
+  app.clients.push_back(c);
+
+  std::vector<double> idle(app.services.size(), 1.0);
+  emulation::TracingOptions topts;
+  topts.sample_rate = 1.0;
+  Rng rng(5);
+  const auto traces =
+      emulation::sample_traces(app, 0, 0, 20, idle, topts, rng);
+  ASSERT_EQ(traces.size(), 20u);
+  for (const auto& trace : traces) {
+    ASSERT_FALSE(trace.spans.empty());
+    EXPECT_FALSE(trace.root().parent_span.has_value());
+    EXPECT_EQ(trace.root().service, app.clients[0].entry_service);
+    for (const auto& span : trace.spans) {
+      if (!span.parent_span) continue;
+      const auto& parent = trace.spans[*span.parent_span];
+      // Children are contained within their parent's duration.
+      EXPECT_GE(span.start_ms, parent.start_ms);
+      EXPECT_LE(span.duration_ms, parent.duration_ms + 1e-9);
+    }
+  }
+}
+
+TEST_F(TracingTest, SamplingRateControlsCorpusSize) {
+  emulation::AppModel app = app_;
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = 0;
+  c.rps_schedule.assign(1, 10.0);
+  app.clients.push_back(c);
+  std::vector<double> idle(app.services.size(), 1.0);
+  emulation::TracingOptions topts;
+  topts.sample_rate = 0.1;
+  Rng rng(7);
+  const auto traces =
+      emulation::sample_traces(app, 0, 0, 1000, idle, topts, rng);
+  EXPECT_GT(traces.size(), 50u);
+  EXPECT_LT(traces.size(), 200u);
+}
+
+TEST_F(TracingTest, CallGraphReconstructionMatchesModel) {
+  emulation::AppModel app = app_;
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  c.rps_schedule.assign(1, 10.0);
+  app.clients.push_back(c);
+  std::vector<double> idle(app.services.size(), 1.0);
+  emulation::TracingOptions topts;
+  topts.sample_rate = 1.0;
+  Rng rng(11);
+  const auto traces =
+      emulation::sample_traces(app, 0, 0, 500, idle, topts, rng);
+  const auto observed = emulation::call_graph_from_traces(
+      traces, app.services.size(), /*min_observations=*/5);
+
+  // Every observed edge exists in the true model.
+  for (const auto& call : observed) {
+    bool in_model = false;
+    double true_fanout = 0.0;
+    for (const auto& e : app.call_edges) {
+      if (e.caller == call.caller && e.callee == call.callee) {
+        in_model = true;
+        true_fanout = e.calls_per_request;
+      }
+    }
+    EXPECT_TRUE(in_model) << call.caller << "->" << call.callee;
+    EXPECT_NEAR(call.mean_fanout, true_fanout, 0.15);
+  }
+  // Every frequently-exercised model edge is recovered (fanout >= 0.3 from
+  // the frontend tree is exercised hundreds of times over 500 traces).
+  const auto tree = app.call_tree(app.find_service("frontend"));
+  std::size_t recovered = 0;
+  for (const auto& e : app.call_edges) {
+    for (const auto& call : observed)
+      if (call.caller == e.caller && call.callee == e.callee) ++recovered;
+  }
+  EXPECT_GE(recovered, 8u);
+}
+
+
+// ---------- trace-based call-graph discovery --------------------------------
+
+TEST(TraceDiscovery, RebuildsCallAssociationsFromTraces) {
+  emulation::AppModel app = emulation::make_hotel_reservation();
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  c.rps_schedule.assign(30, 20.0);
+  app.clients.push_back(c);
+  emulation::SimOptions sopts;
+  sopts.slices = 30;
+  auto sim = emulation::simulate(app, {}, sopts);
+
+  const auto count_call_edges = [&]() {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sim.db.association_count(); ++i)
+      n += sim.db.association(i).kind ==
+           telemetry::RelationKind::kCallerCallee;
+    return n;
+  };
+  const std::size_t oracle_edges = count_call_edges();
+  ASSERT_GT(oracle_edges, 0u);
+
+  emulation::TraceDiscoveryOptions topts;
+  topts.tracing.sample_rate = 1.0;
+  topts.requests_per_client = 400;
+  Rng rng(3);
+  const auto result = emulation::rebuild_call_associations_from_traces(
+      app, sim.entities, sim.db, topts, rng);
+  EXPECT_GT(result.traces, 100u);
+  EXPECT_GT(result.edges_observed, 0u);
+  // Heavily sampled corpus recovers (nearly) the whole call graph.
+  EXPECT_LE(result.edges_missed, 1u);
+  EXPECT_EQ(count_call_edges(), result.edges_observed);
+}
+
+TEST(TraceDiscovery, SparseSamplingMissesRareEdges) {
+  emulation::AppModel app = emulation::make_hotel_reservation();
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  c.rps_schedule.assign(30, 20.0);
+  app.clients.push_back(c);
+  emulation::SimOptions sopts;
+  sopts.slices = 30;
+  auto sim = emulation::simulate(app, {}, sopts);
+
+  emulation::TraceDiscoveryOptions topts;
+  topts.tracing.sample_rate = 0.02;   // realistic head sampling
+  topts.requests_per_client = 100;    // only ~2 traces expected
+  topts.min_observations = 3;
+  Rng rng(5);
+  const auto result = emulation::rebuild_call_associations_from_traces(
+      app, sim.entities, sim.db, topts, rng);
+  // With so few traces, thresholded reconstruction misses edges — exactly
+  // the monitoring-data flaw the robustness experiments inject by hand.
+  EXPECT_GT(result.edges_missed, 0u);
+}
+
+TEST(TraceDiscovery, DirectedModeStoresInfluenceOrder) {
+  emulation::AppModel app = emulation::make_hotel_reservation();
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  c.rps_schedule.assign(10, 20.0);
+  app.clients.push_back(c);
+  emulation::SimOptions sopts;
+  sopts.slices = 10;
+  sopts.bidirectional_call_edges = false;
+  auto sim = emulation::simulate(app, {}, sopts);
+
+  emulation::TraceDiscoveryOptions topts;
+  topts.tracing.sample_rate = 1.0;
+  topts.bidirectional_call_edges = false;
+  Rng rng(7);
+  emulation::rebuild_call_associations_from_traces(app, sim.entities, sim.db,
+                                                   topts, rng);
+  for (std::size_t i = 0; i < sim.db.association_count(); ++i) {
+    const auto& assoc = sim.db.association(i);
+    if (assoc.kind == telemetry::RelationKind::kCallerCallee) {
+      EXPECT_TRUE(assoc.directed);
+    }
+  }
+}
+
+TEST(ConfigEvents, IncidentSixSurfacesTheDeployment) {
+  enterprise::IncidentDatasetOptions opts;
+  opts.topology.num_apps = 5;
+  opts.topology.hosts = 8;
+  opts.topology.tors = 2;
+  opts.topology.ports_per_tor = 6;
+  opts.dynamics.slices = 120;
+  const auto inc = enterprise::make_incident(6, opts);
+  EXPECT_GE(inc.topo.db.config_events().size(), 1u);
+  const auto recent = inc.topo.db.config_events().in_window(
+      inc.incident_start, inc.incident_end);
+  ASSERT_GE(recent.size(), 1u);
+  EXPECT_EQ(recent[0].kind, telemetry::ConfigEventKind::kConfigPushed);
+}
+
+// ---------- csv export -----------------------------------------------------------
+
+TEST(CsvExport, EntitiesAssociationsAndMetrics) {
+  MonitoringDb db;
+  const auto app = db.define_app("shop,with comma");
+  const auto vm = db.add_entity(EntityType::kVm, "vm-1", app);
+  const auto host = db.add_entity(EntityType::kHost, "host-1");
+  db.add_association(vm, host, RelationKind::kVmOnHost);
+  db.metrics().set_axis(TimeAxis(0.0, 60.0, 2));
+  const auto cpu = db.catalog().intern("cpu_util");
+  telemetry::TimeSeries ts({10.0, 20.0});
+  ts.invalidate(1);
+  db.metrics().put(vm, cpu, ts);
+
+  std::ostringstream entities, assocs, metrics;
+  telemetry::export_entities_csv(db, entities);
+  telemetry::export_associations_csv(db, assocs);
+  telemetry::export_metrics_csv(db, metrics);
+
+  EXPECT_NE(entities.str().find("vm,vm-1,\"shop,with comma\""),
+            std::string::npos);
+  EXPECT_NE(entities.str().find("host,host-1,"), std::string::npos);
+  EXPECT_NE(assocs.str().find("vm_on_host,0"), std::string::npos);
+  EXPECT_NE(metrics.str().find("cpu_util,0,10.000000,1"), std::string::npos);
+  EXPECT_NE(metrics.str().find("cpu_util,1,20.000000,0"), std::string::npos);
+}
+
+TEST(CsvExport, WritesFilesToDisk) {
+  MonitoringDb db;
+  db.add_entity(EntityType::kVm, "v");
+  db.metrics().set_axis(TimeAxis(0.0, 1.0, 1));
+  ASSERT_TRUE(telemetry::export_csv(db, "/tmp/murphy_csv_test"));
+  std::ifstream f("/tmp/murphy_csv_test_entities.csv");
+  EXPECT_TRUE(f.good());
+}
+
+// ---------- batch diagnosis -------------------------------------------------------
+
+TEST(BatchDiagnosis, MergesAcrossSymptoms) {
+  // One root cause (flow surge) produces two symptoms: dst VM CPU and a
+  // downstream VM's CPU. The merged ranking should put the shared upstream
+  // cause first.
+  MonitoringDb db;
+  const auto app = db.define_app("tiered");
+  const auto flow = db.add_entity(EntityType::kFlow, "ingress", app);
+  const auto mid = db.add_entity(EntityType::kVm, "mid", app);
+  const auto back = db.add_entity(EntityType::kVm, "back", app);
+  db.add_association(flow, mid, RelationKind::kFlowEndpoint);
+  db.add_association(mid, back, RelationKind::kGeneric);
+  db.metrics().set_axis(TimeAxis(0.0, 60.0, 120));
+  const auto thr = db.catalog().intern("throughput");
+  const auto cpu = db.catalog().intern("cpu_util");
+  Rng rng(9);
+  std::vector<double> f(120), m(120), b(120);
+  for (std::size_t t = 0; t < 120; ++t) {
+    f[t] = 5.0 + rng.normal(0.0, 0.3) + (t >= 110 ? 60.0 : 0.0);
+    m[t] = 1.1 * f[t] + rng.normal(0.0, 0.4);
+    b[t] = 0.8 * m[t] + rng.normal(0.0, 0.4);
+  }
+  db.metrics().put(flow, thr, f);
+  db.metrics().put(mid, cpu, m);
+  db.metrics().put(back, cpu, b);
+
+  core::BatchOptions opts;
+  opts.murphy.sampler.num_samples = 80;
+  core::BatchDiagnoser batch(opts);
+  const auto result = batch.diagnose_app(db, app, 119, 0, 120);
+  ASSERT_GE(result.symptoms.size(), 2u);
+  EXPECT_EQ(result.per_symptom.size(), result.symptoms.size());
+  ASSERT_FALSE(result.merged.empty());
+  EXPECT_EQ(result.merged[0].entity, flow);
+}
+
+TEST(BatchDiagnosis, HealthyAppYieldsEmptyResult) {
+  MonitoringDb db;
+  const auto app = db.define_app("quiet");
+  const auto vm = db.add_entity(EntityType::kVm, "v", app);
+  db.metrics().set_axis(TimeAxis(0.0, 60.0, 50));
+  const auto cpu = db.catalog().intern("cpu_util");
+  Rng rng(2);
+  std::vector<double> series(50);
+  for (auto& v : series) v = 10.0 + rng.normal(0.0, 1.0);
+  db.metrics().put(vm, cpu, series);
+
+  core::BatchDiagnoser batch;
+  const auto result = batch.diagnose_app(db, app, 49, 0, 50);
+  EXPECT_TRUE(result.symptoms.empty());
+  EXPECT_TRUE(result.merged.empty());
+}
+
+// ---------- narrative explanations -------------------------------------------------
+
+TEST(NarrativeExplanation, MentionsMetricsAndMultipliers) {
+  emulation::InterferenceOptions opts;
+  opts.slices = 240;
+  opts.ramp_at = 180;
+  opts.seed = 3;
+  const auto c = emulation::make_interference_case(opts);
+  const std::vector<EntityId> seeds{c.symptom_entity};
+  const auto graph = graph::RelationshipGraph::build(c.db, seeds, 4);
+  const core::MetricSpace space(c.db, graph);
+  core::FactorTrainingOptions topts;
+  const core::FactorSet factors(c.db, graph, space, 0, 240, topts);
+  const auto state = space.snapshot(c.db, 239);
+  const core::Thresholds thresholds;
+  std::vector<core::EntityLabel> labels(graph.node_count());
+  for (graph::NodeIndex n = 0; n < graph.node_count(); ++n)
+    labels[n] =
+        core::label_node(c.db, space, factors, n, state, thresholds);
+
+  const auto root = *graph.index_of(c.root_cause);
+  const auto symptom = *graph.index_of(c.symptom_entity);
+  const auto path = core::explanation_path(graph, labels, root, symptom);
+  const auto text = core::render_narrative(c.db, graph, space, factors,
+                                           labels, path, state);
+  EXPECT_NE(text.find("client-A"), std::string::npos);
+  EXPECT_NE(text.find("x normal"), std::string::npos);
+  EXPECT_NE(text.find("request_rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace murphy

@@ -1,0 +1,190 @@
+// Unit tests for the relationship graph: expansion semantics, bidirectional
+// edge materialization, path subgraphs, cycle census and degradation copies.
+#include <gtest/gtest.h>
+
+#include "src/graph/relationship_graph.h"
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::graph {
+namespace {
+
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+// Builds the Figure-1-like miniature: crawler -> flow1 -> frontend ->
+// flow2/flow3 -> backends, VMs on hosts.
+class Fig1Graph : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crawler_ = db_.add_entity(EntityType::kVm, "crawler");
+    frontend_ = db_.add_entity(EntityType::kVm, "frontend");
+    backend1_ = db_.add_entity(EntityType::kVm, "backend1");
+    backend2_ = db_.add_entity(EntityType::kVm, "backend2");
+    flow1_ = db_.add_entity(EntityType::kFlow, "flow1");
+    flow2_ = db_.add_entity(EntityType::kFlow, "flow2");
+    flow3_ = db_.add_entity(EntityType::kFlow, "flow3");
+    host_ = db_.add_entity(EntityType::kHost, "host");
+
+    db_.add_association(flow1_, crawler_, RelationKind::kFlowEndpoint);
+    db_.add_association(flow1_, frontend_, RelationKind::kFlowEndpoint);
+    db_.add_association(flow2_, frontend_, RelationKind::kFlowEndpoint);
+    db_.add_association(flow2_, backend1_, RelationKind::kFlowEndpoint);
+    db_.add_association(flow3_, frontend_, RelationKind::kFlowEndpoint);
+    db_.add_association(flow3_, backend2_, RelationKind::kFlowEndpoint);
+    db_.add_association(backend1_, host_, RelationKind::kVmOnHost);
+    db_.add_association(backend2_, host_, RelationKind::kVmOnHost);
+  }
+
+  MonitoringDb db_;
+  EntityId crawler_, frontend_, backend1_, backend2_;
+  EntityId flow1_, flow2_, flow3_, host_;
+};
+
+TEST_F(Fig1Graph, FullExpansionReachesEverything) {
+  const EntityId seeds[] = {backend1_};
+  const auto g = RelationshipGraph::build(db_, seeds, /*max_hops=*/5);
+  EXPECT_EQ(g.node_count(), 8u);
+  // Every undirected association became two directed edges.
+  EXPECT_EQ(g.edge_count(), 16u);
+}
+
+TEST_F(Fig1Graph, HopBudgetLimitsExpansion) {
+  const EntityId seeds[] = {crawler_};
+  const auto g1 = RelationshipGraph::build(db_, seeds, /*max_hops=*/1);
+  // crawler + flow1 only.
+  EXPECT_EQ(g1.node_count(), 2u);
+  const auto g2 = RelationshipGraph::build(db_, seeds, /*max_hops=*/2);
+  EXPECT_EQ(g2.node_count(), 3u);  // + frontend
+}
+
+TEST_F(Fig1Graph, NodeCapStopsGrowth) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10, /*max_nodes=*/4);
+  EXPECT_LE(g.node_count(), 4u);
+}
+
+TEST_F(Fig1Graph, ShortestPathSubgraphOrdersByDistance) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto src = g.index_of(crawler_);
+  const auto dst = g.index_of(backend1_);
+  ASSERT_TRUE(src && dst);
+  const auto path = g.shortest_path_subgraph(*src, *dst);
+  // crawler -> flow1 -> frontend -> flow2 -> backend1
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(g.entity_of(path.front()), crawler_);
+  EXPECT_EQ(g.entity_of(path[1]), flow1_);
+  EXPECT_EQ(g.entity_of(path[2]), frontend_);
+  EXPECT_EQ(g.entity_of(path[3]), flow2_);
+  EXPECT_EQ(g.entity_of(path.back()), backend1_);
+}
+
+TEST_F(Fig1Graph, ShortestPathSubgraphIncludesAllTiedPaths) {
+  // host is reachable from frontend via backend1 or backend2: both length-3
+  // paths should contribute their middle nodes.
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto src = g.index_of(frontend_);
+  const auto dst = g.index_of(host_);
+  const auto sub = g.shortest_path_subgraph(*src, *dst);
+  // frontend, flow2, flow3, backend1, backend2, host
+  EXPECT_EQ(sub.size(), 6u);
+}
+
+TEST_F(Fig1Graph, BidirectionalEdgesMakeCycles) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  EXPECT_FALSE(g.is_dag());
+  // Each bidirectional association is a 2-cycle.
+  EXPECT_EQ(g.count_2cycles(), 8u);
+  const auto n = g.index_of(frontend_);
+  EXPECT_TRUE(g.on_cycle(*n));
+}
+
+TEST_F(Fig1Graph, UnreachableReturnsEmptySubgraph) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  db.add_association(a, b, RelationKind::kCallerCallee, /*directed=*/true);
+  const EntityId seeds[] = {a, b};
+  const auto g = RelationshipGraph::build(db, seeds, 3);
+  const auto ia = g.index_of(a);
+  const auto ib = g.index_of(b);
+  EXPECT_TRUE(g.shortest_path_subgraph(*ib, *ia).empty());  // b cannot reach a
+  EXPECT_EQ(g.shortest_path_subgraph(*ia, *ib).size(), 2u);
+}
+
+TEST(RelationshipGraph, DirectedDagHasTopologicalOrder) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kService, "a");
+  const auto b = db.add_entity(EntityType::kService, "b");
+  const auto c = db.add_entity(EntityType::kService, "c");
+  db.add_association(a, b, RelationKind::kCallerCallee, true);
+  db.add_association(b, c, RelationKind::kCallerCallee, true);
+  db.add_association(a, c, RelationKind::kCallerCallee, true);
+  const EntityId seeds[] = {a};
+  const auto g = RelationshipGraph::build(db, seeds, 5);
+  EXPECT_TRUE(g.is_dag());
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(g.entity_of(order->front()), a);
+  EXPECT_EQ(g.entity_of(order->back()), c);
+  EXPECT_EQ(g.count_2cycles(), 0u);
+  EXPECT_EQ(g.count_3cycles(), 0u);
+}
+
+TEST(RelationshipGraph, ThreeCycleCensus) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  const auto c = db.add_entity(EntityType::kVm, "c");
+  db.add_association(a, b, RelationKind::kGeneric, true);
+  db.add_association(b, c, RelationKind::kGeneric, true);
+  db.add_association(c, a, RelationKind::kGeneric, true);
+  const EntityId seeds[] = {a};
+  const auto g = RelationshipGraph::build(db, seeds, 5);
+  EXPECT_EQ(g.count_3cycles(), 1u);
+  EXPECT_FALSE(g.is_dag());
+}
+
+TEST_F(Fig1Graph, WithoutEdgeRemovesOnlyThatDirection) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto f = *g.index_of(flow1_);
+  const auto fe = *g.index_of(frontend_);
+  const auto g2 = g.without_edge(f, fe);
+  EXPECT_EQ(g2.edge_count(), g.edge_count() - 1);
+  // Reverse direction survives.
+  const auto in_f = g2.in_neighbors(f);
+  bool has_rev = false;
+  for (const auto n : in_f) has_rev |= (n == fe);
+  EXPECT_TRUE(has_rev);
+}
+
+TEST_F(Fig1Graph, WithoutNodeRepacksIndices) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto f = *g.index_of(flow1_);
+  const auto g2 = g.without_node(f);
+  EXPECT_EQ(g2.node_count(), g.node_count() - 1);
+  EXPECT_FALSE(g2.index_of(flow1_).has_value());
+  // crawler is now isolated: no path to backend1.
+  const auto src = g2.index_of(crawler_);
+  const auto dst = g2.index_of(backend1_);
+  ASSERT_TRUE(src && dst);
+  EXPECT_TRUE(g2.shortest_path_subgraph(*src, *dst).empty());
+}
+
+TEST_F(Fig1Graph, DistancesFromAndTo) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto d = g.distances_from(*g.index_of(crawler_));
+  EXPECT_EQ(d[*g.index_of(flow1_)], 1u);
+  EXPECT_EQ(d[*g.index_of(backend1_)], 4u);
+  const auto dt = g.distances_to(*g.index_of(backend1_));
+  EXPECT_EQ(dt[*g.index_of(crawler_)], 4u);
+}
+
+}  // namespace
+}  // namespace murphy::graph

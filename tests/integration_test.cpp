@@ -1,0 +1,197 @@
+// Cross-module integration tests: the whole pipeline (simulate -> monitor ->
+// diagnose -> score) under varied conditions, degradation + diagnosis
+// interplay, scheme-comparison invariants, and end-to-end determinism of the
+// evaluation harness.
+#include <gtest/gtest.h>
+
+#include "src/baselines/explainit.h"
+#include "src/baselines/netmedic.h"
+#include "src/baselines/sage.h"
+#include "src/core/murphy.h"
+#include "src/emulation/scenarios.h"
+#include "src/enterprise/incidents.h"
+#include "src/eval/degradation.h"
+#include "src/eval/metrics.h"
+#include "src/eval/runner.h"
+
+namespace murphy {
+namespace {
+
+core::MurphyDiagnoser fast_murphy(std::uint64_t seed = 1) {
+  core::MurphyOptions opts;
+  opts.sampler.num_samples = 120;
+  opts.seed = seed;
+  return core::MurphyDiagnoser(opts);
+}
+
+class ContentionPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionPipeline, MurphyBeatsChanceAcrossSeeds) {
+  emulation::ContentionOptions opts;
+  opts.app = emulation::ContentionOptions::App::kHotelReservation;
+  opts.seed = GetParam();
+  opts.slices = 240;
+  opts.prior_incidents = 2;
+  const auto c = emulation::make_contention_case(opts);
+  auto murphy = fast_murphy(GetParam());
+  const auto outcome = eval::run_case(murphy, c);
+  // Not every seed must hit strictly (the paper reports 83%), but the
+  // relaxed criterion (faulted container or its services) should hold.
+  EXPECT_TRUE(outcome.relaxed_hit(5))
+      << "seed " << GetParam() << " rank " << outcome.rank;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionPipeline,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(InterferencePipeline, AllSchemesRunOnTheSameCase) {
+  emulation::InterferenceOptions opts;
+  opts.slices = 300;
+  opts.ramp_at = 220;
+  opts.seed = 5;
+  const auto c = emulation::make_interference_case(opts);
+  const auto request = eval::request_for(c);
+
+  auto murphy = fast_murphy();
+  baselines::Sage sage;
+  baselines::NetMedic netmedic;
+  baselines::ExplainIt explainit;
+
+  const auto rm = murphy.diagnose(request);
+  const auto rs = sage.diagnose(request);
+  const auto rn = netmedic.diagnose(request);
+  const auto re = explainit.diagnose(request);
+
+  // Murphy finds the aggressor; Sage structurally cannot (cyclic input).
+  EXPECT_GE(rm.rank_of(c.root_cause), 1u);
+  EXPECT_EQ(rs.rank_of(c.root_cause), 0u);
+  // Every scheme returns well-formed rankings (descending scores).
+  for (const auto* r : {&rm, &rn, &re})
+    for (std::size_t i = 1; i < r->causes.size(); ++i)
+      EXPECT_LE(r->causes[i].score, r->causes[i - 1].score);
+  // Murphy's explanations align 1:1 with its causes.
+  EXPECT_EQ(rm.causes.size(), rm.explanations.size());
+}
+
+TEST(DegradationPipeline, MurphySurvivesEveryDegradationKind) {
+  for (const auto d :
+       {eval::Degradation::kMissingValues, eval::Degradation::kMissingEdge,
+        eval::Degradation::kMissingEntity, eval::Degradation::kMissingMetric}) {
+    emulation::ContentionOptions opts;
+    opts.app = emulation::ContentionOptions::App::kHotelReservation;
+    opts.seed = 77;
+    opts.slices = 240;
+    auto c = emulation::make_contention_case(opts);
+    Rng rng(7);
+    eval::apply_degradation(c, d, rng);
+    auto murphy = fast_murphy();
+    const auto outcome = eval::run_case(murphy, c);
+    // The pipeline must produce a finite, scoreable result.
+    EXPECT_GE(outcome.output_size, 0u);
+  }
+}
+
+TEST(DegradationPipeline, MissingValuesBarelyHurtsMurphy) {
+  // §6.4's headline for Murphy: deleting pre-incident history has minimal
+  // effect because the in-incident data is still present.
+  emulation::ContentionOptions opts;
+  opts.app = emulation::ContentionOptions::App::kHotelReservation;
+  opts.seed = 31;
+  opts.slices = 240;
+
+  auto murphy = fast_murphy();
+  const auto clean = emulation::make_contention_case(opts);
+  const auto clean_outcome = eval::run_case(murphy, clean);
+
+  auto degraded = emulation::make_contention_case(opts);
+  Rng rng(9);
+  eval::apply_degradation(degraded, eval::Degradation::kMissingValues, rng);
+  const auto degraded_outcome = eval::run_case(murphy, degraded);
+
+  if (clean_outcome.hit(5)) {
+    EXPECT_TRUE(degraded_outcome.relaxed_hit(5));
+  }
+}
+
+TEST(EnterprisePipeline, SelfCausedIncidentDiagnosesItself) {
+  // Incident 9 (stuck process on the symptomatic VM): the symptom entity is
+  // the root cause; Murphy must include it despite the counterfactual being
+  // inapplicable to self-pairs.
+  enterprise::IncidentDatasetOptions opts;
+  opts.topology.num_apps = 5;
+  opts.topology.hosts = 8;
+  opts.topology.tors = 2;
+  opts.topology.ports_per_tor = 6;
+  opts.dynamics.slices = 120;
+  const auto inc = enterprise::make_incident(9, opts);
+  ASSERT_EQ(inc.ground_truth[0], inc.symptom_entity);
+  auto murphy = fast_murphy();
+  const auto result = murphy.diagnose(eval::request_for(inc));
+  EXPECT_GE(result.rank_of(inc.symptom_entity), 1u);
+}
+
+TEST(EnterprisePipeline, CrashIncidentUsesLowSideAnomaly) {
+  // Incident 5 (web VM crash): the signal is metrics COLLAPSING, not
+  // spiking; the candidate search's z-criterion must still find it.
+  enterprise::IncidentDatasetOptions opts;
+  opts.topology.num_apps = 5;
+  opts.topology.hosts = 8;
+  opts.topology.tors = 2;
+  opts.topology.ports_per_tor = 6;
+  opts.dynamics.slices = 120;
+  const auto inc = enterprise::make_incident(5, opts);
+  auto murphy = fast_murphy();
+  const auto result = murphy.diagnose(eval::request_for(inc));
+  EXPECT_GE(result.rank_of(inc.ground_truth[0]), 1u);
+}
+
+TEST(CalibrationPipeline, ScoreFloorKeepsCalibrationTruths) {
+  enterprise::IncidentDatasetOptions opts;
+  opts.topology.num_apps = 5;
+  opts.topology.hosts = 8;
+  opts.topology.tors = 2;
+  opts.topology.ports_per_tor = 6;
+  opts.dynamics.slices = 120;
+  const auto inc2 = enterprise::make_incident(2, opts);
+  const auto inc13 = enterprise::make_incident(13, opts);
+  auto murphy = fast_murphy();
+  const std::vector<const enterprise::EnterpriseIncident*> calib{&inc2,
+                                                                 &inc13};
+  const double floor = eval::calibrate_score_floor(murphy, calib);
+  for (const auto* inc : calib) {
+    const auto result = eval::filtered_by_score(
+        murphy.diagnose(eval::request_for(*inc)), floor);
+    EXPECT_GE(result.rank_of(inc->ground_truth[0]), 1u)
+        << "incident " << inc->number;
+  }
+}
+
+TEST(CalibrationPipeline, MissingTruthYieldsZeroFloor) {
+  // A scheme that never produces the truth cannot be calibrated to recall 1;
+  // the floor must fall back to keep-everything.
+  enterprise::IncidentDatasetOptions opts;
+  opts.topology.num_apps = 4;
+  opts.topology.hosts = 6;
+  opts.topology.tors = 2;
+  opts.topology.ports_per_tor = 4;
+  opts.dynamics.slices = 96;
+  const auto inc = enterprise::make_incident(2, opts);
+  baselines::Sage sage;  // produces nothing in the enterprise environment
+  const std::vector<const enterprise::EnterpriseIncident*> calib{&inc};
+  EXPECT_DOUBLE_EQ(eval::calibrate_score_floor(sage, calib), 0.0);
+}
+
+TEST(DiagnosisRequestDefaults, RequestForUsesOnlineWindow) {
+  emulation::ContentionOptions opts;
+  opts.seed = 1;
+  opts.slices = 240;
+  const auto c = emulation::make_contention_case(opts);
+  const auto req = eval::request_for(c);
+  EXPECT_EQ(req.train_begin, 0u);
+  EXPECT_EQ(req.train_end, c.incident_end);
+  EXPECT_EQ(req.now, c.incident_end - 1);
+  EXPECT_EQ(req.db, &c.db);
+}
+
+}  // namespace
+}  // namespace murphy

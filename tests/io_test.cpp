@@ -1,0 +1,196 @@
+// Tests for the dataset I/O (CSV export/import round-trip, error reporting)
+// and the ASCII chart renderer used by the figure benches.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/ascii_chart.h"
+#include "src/telemetry/csv_export.h"
+#include "src/telemetry/csv_import.h"
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy {
+namespace {
+
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+MonitoringDb sample_db() {
+  MonitoringDb db;
+  const auto app = db.define_app("shop");
+  const auto vm = db.add_entity(EntityType::kVm, "vm-1", app);
+  const auto host = db.add_entity(EntityType::kHost, "host-1");
+  const auto flow = db.add_entity(EntityType::kFlow, "flow, with comma", app);
+  db.add_association(vm, host, RelationKind::kVmOnHost);
+  db.add_association(flow, vm, RelationKind::kFlowEndpoint, /*directed=*/true);
+  db.metrics().set_axis(TimeAxis(0.0, 30.0, 3));
+  const auto cpu = db.catalog().intern("cpu_util");
+  const auto thr = db.catalog().intern("throughput");
+  telemetry::TimeSeries cpu_ts({10.0, 20.5, 30.25});
+  cpu_ts.invalidate(2);
+  db.metrics().put(vm, cpu, cpu_ts);
+  db.metrics().put(flow, thr, {1.0, 2.0, 3.0});
+  return db;
+}
+
+TEST(CsvRoundTrip, PreservesEverything) {
+  const auto original = sample_db();
+  std::stringstream entities, assocs, metrics;
+  telemetry::export_entities_csv(original, entities);
+  telemetry::export_associations_csv(original, assocs);
+  telemetry::export_metrics_csv(original, metrics);
+
+  telemetry::ImportError error;
+  const auto imported =
+      telemetry::import_csv(entities, assocs, metrics, 30.0, &error);
+  ASSERT_TRUE(imported.has_value()) << error.message;
+  const auto& db = imported->db;
+
+  EXPECT_EQ(imported->entities, 3u);
+  EXPECT_EQ(imported->associations, 2u);
+  EXPECT_EQ(imported->series, 2u);
+
+  const auto vm = db.find_entity("vm-1");
+  const auto flow = db.find_entity("flow, with comma");
+  ASSERT_TRUE(vm.valid());
+  ASSERT_TRUE(flow.valid());
+  EXPECT_EQ(db.entity(vm).type, EntityType::kVm);
+  EXPECT_EQ(db.app(db.entity(vm).app).name, "shop");
+
+  // Associations: vm<->host undirected, flow->vm directed preserved.
+  bool saw_directed = false;
+  for (std::size_t i = 0; i < db.association_count(); ++i) {
+    const auto& a = db.association(i);
+    if (a.kind == RelationKind::kFlowEndpoint) {
+      EXPECT_TRUE(a.directed);
+      saw_directed = true;
+    }
+  }
+  EXPECT_TRUE(saw_directed);
+
+  // Metrics: values and validity mask.
+  const auto cpu = db.catalog().find("cpu_util");
+  ASSERT_TRUE(cpu.valid());
+  const auto* ts = db.metrics().find(vm, cpu);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->size(), 3u);
+  EXPECT_DOUBLE_EQ(ts->value(1), 20.5);
+  EXPECT_TRUE(ts->is_valid(1));
+  EXPECT_FALSE(ts->is_valid(2));
+  EXPECT_DOUBLE_EQ(db.metrics().axis().interval(), 30.0);
+}
+
+TEST(CsvImport, ReportsMalformedRowsWithLineNumbers) {
+  std::stringstream entities("entity_id,type,name,app\n0,vm,ok,\nbad-row\n");
+  std::stringstream assocs("entity_a,entity_b,kind,directed\n");
+  std::stringstream metrics("entity_id,metric,slice,value,valid\n");
+  telemetry::ImportError error;
+  const auto result =
+      telemetry::import_csv(entities, assocs, metrics, 1.0, &error);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.message.find("entities"), std::string::npos);
+}
+
+TEST(CsvImport, RejectsUnknownEntityReferences) {
+  std::stringstream entities("entity_id,type,name,app\n0,vm,a,\n");
+  std::stringstream assocs(
+      "entity_a,entity_b,kind,directed\n0,99,generic,0\n");
+  std::stringstream metrics("entity_id,metric,slice,value,valid\n");
+  telemetry::ImportError error;
+  EXPECT_FALSE(
+      telemetry::import_csv(entities, assocs, metrics, 1.0, &error)
+          .has_value());
+  EXPECT_NE(error.message.find("unknown entity"), std::string::npos);
+}
+
+TEST(CsvImport, FileRoundTripThroughDisk) {
+  const auto original = sample_db();
+  ASSERT_TRUE(telemetry::export_csv(original, "/tmp/murphy_roundtrip"));
+  telemetry::ImportError error;
+  const auto imported =
+      telemetry::import_csv_files("/tmp/murphy_roundtrip", 30.0, &error);
+  ASSERT_TRUE(imported.has_value()) << error.message;
+  EXPECT_EQ(imported->entities, 3u);
+}
+
+TEST(CsvImport, MissingFilesReportedGracefully) {
+  telemetry::ImportError error;
+  EXPECT_FALSE(telemetry::import_csv_files("/tmp/does_not_exist_prefix", 1.0,
+                                           &error)
+                   .has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+// ---------- ascii charts --------------------------------------------------------
+
+TEST(AsciiChart, LineChartMarksExtremes) {
+  std::vector<double> ys{0.0, 1.0, 2.0, 3.0, 10.0, 3.0, 2.0};
+  eval::ChartOptions opts;
+  opts.width = 20;
+  opts.height = 6;
+  const auto chart = eval::line_chart(ys, opts);
+  // Axis labels carry min and max.
+  EXPECT_NE(chart.find("10.0"), std::string::npos);
+  EXPECT_NE(chart.find("0.0"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  // Height rows plus the x-axis line.
+  EXPECT_GE(std::count(chart.begin(), chart.end(), '\n'), 7);
+}
+
+TEST(AsciiChart, MultiSeriesUsesDistinctGlyphsAndLegend) {
+  std::vector<eval::Series> series{
+      {"murphy", {1.0, 2.0, 3.0}},
+      {"sage", {3.0, 2.0, 1.0}},
+  };
+  const auto chart = eval::multi_line_chart(series);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("*=murphy"), std::string::npos);
+  EXPECT_NE(chart.find("o=sage"), std::string::npos);
+}
+
+TEST(AsciiChart, CdfIsMonotoneAlongColumns) {
+  // For a single series, scanning columns left to right the plotted row
+  // (cumulative fraction) must never decrease.
+  std::vector<eval::Series> series{
+      {"err", {5.0, 1.0, 3.0, 2.0, 4.0, 2.5, 0.5, 3.5}}};
+  eval::ChartOptions opts;
+  opts.width = 24;
+  opts.height = 8;
+  const auto chart = eval::cdf_chart(series, opts);
+  EXPECT_NE(chart.find("x-range"), std::string::npos);
+
+  // Parse the canvas rows between the axis label columns.
+  std::vector<std::string> rows;
+  std::istringstream in(chart);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.size() > 11 && line[10] == '|') rows.push_back(line.substr(11));
+  ASSERT_EQ(rows.size(), 8u);
+  int last_best = 8;  // row index of the highest mark so far (0 = top)
+  for (std::size_t col = 0; col < 24; ++col) {
+    for (int r = 0; r < 8; ++r) {
+      if (rows[r].size() > col && rows[r][col] == '*') {
+        EXPECT_LE(r, last_best) << "CDF went down at column " << col;
+        last_best = r;
+        break;
+      }
+    }
+  }
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  std::vector<double> ys(10, 5.0);
+  const auto chart = eval::line_chart(ys);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptySeriesRendersAxesOnly) {
+  const auto chart = eval::line_chart({});
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace murphy

@@ -1,0 +1,223 @@
+// Regression and edge-case tests distilled from bugs found while building
+// this reproduction: directed-influence orientation, calibration filtering
+// alignment, metric-space snapshots of missing data, simulator saturation
+// behaviour, and ranking-score scale effects.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/anomaly.h"
+#include "src/core/murphy.h"
+#include "src/emulation/simulator.h"
+#include "src/emulation/workload.h"
+#include "src/eval/runner.h"
+#include "src/graph/relationship_graph.h"
+#include "src/stats/summary.h"
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy {
+namespace {
+
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+// Bug: caller->callee edges were originally stored in call direction, so in
+// the DAG environment no directed path existed from a faulted backend to the
+// client symptom and every counterfactual returned "unreachable". The fix
+// defines directed associations as influence order. This test pins that down.
+TEST(Regression, DagEnvironmentHasFaultToSymptomPaths) {
+  emulation::AppModel app = emulation::make_hotel_reservation();
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  Rng rng(1);
+  c.rps_schedule = emulation::steady_load(30, 20.0, 0.02, rng);
+  app.clients.push_back(c);
+  emulation::SimOptions opts;
+  opts.slices = 30;
+  opts.bidirectional_call_edges = false;
+  const auto sim = emulation::simulate(app, {}, opts);
+
+  const std::vector<EntityId> seeds{sim.entities.clients[0]};
+  const auto g = graph::RelationshipGraph::build(sim.db, seeds, 6);
+  const auto client = g.index_of(sim.entities.clients[0]);
+  ASSERT_TRUE(client.has_value());
+  // Every service container must reach the client through directed edges.
+  for (const auto ctr : sim.entities.containers) {
+    const auto n = g.index_of(ctr);
+    if (!n) continue;  // outside 6 hops (shouldn't happen here)
+    const auto path = g.shortest_path_subgraph(*n, *client);
+    EXPECT_FALSE(path.empty())
+        << sim.db.entity(ctr).name << " cannot influence the client";
+  }
+}
+
+// Bug: filtered_by_score dropped causes but left explanations unaligned.
+TEST(Regression, FilteredResultKeepsExplanationsAligned) {
+  core::DiagnosisResult r;
+  for (int i = 0; i < 4; ++i) {
+    r.causes.push_back(core::RankedRootCause{EntityId(i), 10.0 - i});
+    r.explanations.push_back("explains " + std::to_string(i));
+  }
+  const auto filtered = eval::filtered_by_score(std::move(r), 8.5);
+  ASSERT_EQ(filtered.causes.size(), 2u);
+  ASSERT_EQ(filtered.explanations.size(), 2u);
+  EXPECT_EQ(filtered.explanations[0], "explains 0");
+  EXPECT_EQ(filtered.explanations[1], "explains 1");
+}
+
+// Bug: MAD floored by 0.1*stddev destroyed robustness under >10%
+// contamination; counterfactual magnitudes then collapsed. Pin both flavors.
+TEST(Regression, RobustAndClassicSigmaServeDifferentRoles) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  db.add_association(a, b, RelationKind::kGeneric);
+  const auto load = db.catalog().intern("cpu_util");
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, 100));
+  Rng rng(3);
+  std::vector<double> va(100), vb(100);
+  for (std::size_t t = 0; t < 100; ++t) {
+    va[t] = 10.0 + rng.normal(0.0, 0.5) + (t >= 75 ? 50.0 : 0.0);  // 25% hot
+    vb[t] = va[t] + rng.normal(0.0, 0.5);
+  }
+  db.metrics().put(a, load, va);
+  db.metrics().put(b, load, vb);
+  const std::vector<EntityId> seeds{a};
+  const auto g = graph::RelationshipGraph::build(db, seeds, 2);
+  const core::MetricSpace space(db, g);
+  const core::FactorTrainingOptions topts;
+  const core::FactorSet factors(db, g, space, 0, 100, topts);
+  const auto& cond = factors.conditional(*space.find(a, load));
+  // Robust sigma ignores the incident quarter; classic sigma absorbs it.
+  EXPECT_LT(cond.robust_sigma(), 3.0);
+  EXPECT_GT(cond.hist_sigma(), 15.0);
+  // Anomaly (robust) is strong at the incident slice.
+  const auto state = space.snapshot(db, 99);
+  EXPECT_GT(core::variable_anomaly(factors, *space.find(a, load), state[*space.find(a, load)]),
+            10.0);
+}
+
+// Bug: queueing factor was unbounded near rho=1 and produced inf latencies.
+TEST(Regression, SaturatedServiceLatencyStaysFinite) {
+  emulation::AppModel app = emulation::make_hotel_reservation();
+  emulation::ClientSpec c;
+  c.name = "client";
+  c.entry_service = app.find_service("frontend");
+  Rng rng(4);
+  c.rps_schedule = emulation::steady_load(20, 5000.0, 0.02, rng);  // absurd
+  app.clients.push_back(c);
+  emulation::SimOptions opts;
+  opts.slices = 20;
+  const auto sim = emulation::simulate(app, {}, opts);
+  for (const auto& series : sim.client_latency)
+    for (const double v : series) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GT(v, 0.0);
+    }
+}
+
+// Bug: node_anomaly's rank_score originally used raw z only, so a tiny-MAD
+// metric (0.6 MB/s disk) outranked a 14x request-rate surge.
+TEST(Regression, RankScoreWeighsRelativeExcursion) {
+  MonitoringDb db;
+  const auto small = db.add_entity(EntityType::kVm, "small-metric");
+  const auto big = db.add_entity(EntityType::kVm, "big-surge");
+  db.add_association(small, big, RelationKind::kGeneric);
+  const auto m = db.catalog().intern("request_rate");
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, 100));
+  Rng rng(5);
+  std::vector<double> vs(100), vb(100);
+  for (std::size_t t = 0; t < 100; ++t) {
+    // small: mean 100, sigma ~0.5, now at 104 -> z = 8 but ratio tiny.
+    vs[t] = 100.0 + rng.normal(0.0, 0.5);
+    // big: mean 20, sigma ~3, now at 280 -> z ~ 80+, ratio 13.
+    vb[t] = 20.0 + rng.normal(0.0, 3.0);
+  }
+  vs[99] = 104.0;
+  vb[99] = 280.0;
+  db.metrics().put(small, m, vs);
+  db.metrics().put(big, m, vb);
+  const std::vector<EntityId> seeds{small};
+  const auto g = graph::RelationshipGraph::build(db, seeds, 2);
+  const core::MetricSpace space(db, g);
+  const core::FactorTrainingOptions topts;
+  const core::FactorSet factors(db, g, space, 0, 100, topts);
+  const auto state = space.snapshot(db, 99);
+  const auto a_small =
+      core::node_anomaly(factors, space, *g.index_of(small), state);
+  const auto a_big = core::node_anomaly(factors, space, *g.index_of(big), state);
+  EXPECT_GT(a_big.rank_score, a_small.rank_score * 2.0);
+}
+
+// Bug: MonitoringDb::remove_association left the per-entity index stale.
+TEST(Regression, AssociationIndexRebuiltAfterRemoval) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  const auto c = db.add_entity(EntityType::kVm, "c");
+  db.add_association(a, b, RelationKind::kGeneric);
+  db.add_association(b, c, RelationKind::kGeneric);
+  db.remove_association(0);
+  // The index for b must only reference the surviving association.
+  const auto indices = db.association_indices(b);
+  ASSERT_EQ(indices.size(), 1u);
+  const auto& assoc = db.association(indices[0]);
+  EXPECT_TRUE((assoc.a == b && assoc.b == c) ||
+              (assoc.a == c && assoc.b == b));
+}
+
+// Snapshot of entities with no metric series must read as the placeholder
+// default, not garbage (§4.2 edge case: newly spawned entity).
+TEST(Regression, SnapshotOfMetriclessEntityIsZero) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "has-metrics");
+  const auto b = db.add_entity(EntityType::kVm, "fresh-spawn");
+  db.add_association(a, b, RelationKind::kGeneric);
+  const auto m = db.catalog().intern("cpu_util");
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, 5));
+  db.metrics().put(a, m, {1.0, 2.0, 3.0, 4.0, 5.0});
+  const std::vector<EntityId> seeds{a};
+  const auto g = graph::RelationshipGraph::build(db, seeds, 2);
+  const core::MetricSpace space(db, g);
+  // b has no series at all: it contributes no variables.
+  EXPECT_TRUE(space.vars_of(*g.index_of(b)).empty());
+  const auto state = space.snapshot(db, 4);
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_DOUBLE_EQ(state[0], 5.0);
+}
+
+// The t-test direction flips for abnormally-LOW symptoms (§4.2): pushing the
+// cause toward normal must RAISE the symptom for root-cause-hood.
+TEST(Regression, LowSideSymptomUsesReversedTest) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  db.add_association(a, b, RelationKind::kGeneric);
+  const auto m = db.catalog().intern("net_rx_rate");
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, 120));
+  Rng rng(6);
+  std::vector<double> va(120), vb(120);
+  for (std::size_t t = 0; t < 120; ++t) {
+    va[t] = 30.0 + rng.normal(0.0, 1.0) - (t >= 110 ? 28.0 : 0.0);  // collapse
+    vb[t] = 0.9 * va[t] + rng.normal(0.0, 1.0);
+  }
+  db.metrics().put(a, m, va);
+  db.metrics().put(b, m, vb);
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 120;
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &db;
+  req.symptom_entity = b;
+  req.symptom_metric = "net_rx_rate";
+  req.now = 119;
+  req.train_begin = 0;
+  req.train_end = 120;
+  const auto result = murphy.diagnose(req);
+  EXPECT_GE(result.rank_of(a), 1u);
+}
+
+}  // namespace
+}  // namespace murphy

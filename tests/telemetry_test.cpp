@@ -1,0 +1,166 @@
+// Unit tests for the telemetry substrate: catalog interning, time series
+// with validity masks, the MonitoringDb query surface and degradation ops.
+#include <gtest/gtest.h>
+
+#include "src/common/time_axis.h"
+#include "src/telemetry/metric_catalog.h"
+#include "src/telemetry/metric_store.h"
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::telemetry {
+namespace {
+
+TEST(TimeAxis, IndexOfClampsAndRoundsDown) {
+  TimeAxis axis(100.0, 10.0, 5);  // slices at 100,110,120,130,140
+  EXPECT_EQ(axis.index_of(100.0), 0u);
+  EXPECT_EQ(axis.index_of(119.9), 1u);
+  EXPECT_EQ(axis.index_of(50.0), 0u);     // clamped low
+  EXPECT_EQ(axis.index_of(1000.0), 4u);   // clamped high
+  EXPECT_DOUBLE_EQ(axis.time_of(3), 130.0);
+}
+
+TEST(TimeAxis, SliceProducesSubAxis) {
+  TimeAxis axis(0.0, 60.0, 10);
+  TimeAxis sub = axis.slice(2, 6);
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_DOUBLE_EQ(sub.time_of(0), 120.0);
+}
+
+TEST(MetricCatalog, InternIsIdempotent) {
+  MetricCatalog cat;
+  const MetricKindId a = cat.intern("cpu_util");
+  const MetricKindId b = cat.intern("mem_util");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cat.intern("cpu_util"), a);
+  EXPECT_EQ(cat.name(a), "cpu_util");
+  EXPECT_EQ(cat.size(), 2u);
+}
+
+TEST(MetricCatalog, FindDoesNotIntern) {
+  MetricCatalog cat;
+  EXPECT_FALSE(cat.find("absent").valid());
+  EXPECT_EQ(cat.size(), 0u);
+}
+
+TEST(TimeSeries, ValueOrFallsBackOnInvalid) {
+  TimeSeries ts({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ts.value_or(1, -1.0), 2.0);
+  ts.invalidate(1);
+  EXPECT_DOUBLE_EQ(ts.value_or(1, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ts.value_or(99, -1.0), -1.0);  // out of range
+}
+
+TEST(TimeSeries, InvalidateBeforeKeepsIncidentWindow) {
+  TimeSeries ts({1.0, 2.0, 3.0, 4.0});
+  ts.invalidate_before(2);
+  EXPECT_FALSE(ts.is_valid(0));
+  EXPECT_FALSE(ts.is_valid(1));
+  EXPECT_TRUE(ts.is_valid(2));
+  EXPECT_TRUE(ts.is_valid(3));
+}
+
+TEST(TimeSeries, WindowSubstitutesFallback) {
+  TimeSeries ts({1.0, 2.0, 3.0, 4.0});
+  ts.invalidate(1);
+  const auto w = ts.window(0, 3, 0.0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 3.0);
+}
+
+class MonitoringDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = db_.define_app("shop");
+    vm1_ = db_.add_entity(EntityType::kVm, "vm-web", app_);
+    vm2_ = db_.add_entity(EntityType::kVm, "vm-db", app_);
+    host_ = db_.add_entity(EntityType::kHost, "host-1");
+    flow_ = db_.add_entity(EntityType::kFlow, "flow-web-db");
+    db_.add_association(vm1_, host_, RelationKind::kVmOnHost);
+    db_.add_association(vm2_, host_, RelationKind::kVmOnHost);
+    db_.add_association(flow_, vm1_, RelationKind::kFlowEndpoint);
+    db_.add_association(flow_, vm2_, RelationKind::kFlowEndpoint);
+
+    db_.metrics().set_axis(TimeAxis(0.0, 60.0, 4));
+    cpu_ = db_.catalog().intern("cpu_util");
+    db_.metrics().put(vm1_, cpu_, {10.0, 20.0, 30.0, 40.0});
+  }
+
+  MonitoringDb db_;
+  AppId app_;
+  EntityId vm1_, vm2_, host_, flow_;
+  MetricKindId cpu_;
+};
+
+TEST_F(MonitoringDbTest, EntityLookupByIdAndName) {
+  EXPECT_EQ(db_.entity_count(), 4u);
+  EXPECT_EQ(db_.entity(vm1_).name, "vm-web");
+  EXPECT_EQ(db_.entity(vm1_).type, EntityType::kVm);
+  EXPECT_EQ(db_.find_entity("vm-db"), vm2_);
+  EXPECT_FALSE(db_.find_entity("nope").valid());
+}
+
+TEST_F(MonitoringDbTest, AppMembership) {
+  EXPECT_EQ(db_.app(app_).members.size(), 2u);
+  EXPECT_EQ(db_.entity(vm1_).app, app_);
+  EXPECT_FALSE(db_.entity(host_).app.valid());
+  EXPECT_EQ(db_.find_app("shop"), app_);
+}
+
+TEST_F(MonitoringDbTest, NeighborsAreDeduplicated) {
+  const auto nb = db_.neighbors(host_);
+  ASSERT_EQ(nb.size(), 2u);  // vm1, vm2
+  const auto nb_vm1 = db_.neighbors(vm1_);
+  EXPECT_EQ(nb_vm1.size(), 2u);  // host, flow
+}
+
+TEST_F(MonitoringDbTest, MetricRoundTrip) {
+  const TimeSeries* ts = db_.metrics().find(vm1_, cpu_);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_DOUBLE_EQ(ts->value(2), 30.0);
+  EXPECT_EQ(db_.metrics().kinds_of(vm1_).size(), 1u);
+  EXPECT_EQ(db_.metrics().find(vm2_, cpu_), nullptr);
+}
+
+TEST_F(MonitoringDbTest, RemoveEntityDropsAssociationsAndMetrics) {
+  db_.remove_entity(vm1_);
+  EXPECT_FALSE(db_.has_entity(vm1_));
+  EXPECT_EQ(db_.neighbors(host_).size(), 1u);
+  EXPECT_EQ(db_.neighbors(flow_).size(), 1u);
+  EXPECT_EQ(db_.metrics().find(vm1_, cpu_), nullptr);
+  EXPECT_EQ(db_.app(app_).members.size(), 1u);
+  // ids of other entities remain stable
+  EXPECT_EQ(db_.entity(vm2_).name, "vm-db");
+}
+
+TEST_F(MonitoringDbTest, RemoveAssociationKeepsEntities) {
+  const std::size_t before = db_.association_count();
+  db_.remove_association(0);  // vm1 <-> host
+  EXPECT_EQ(db_.association_count(), before - 1);
+  const auto nb = db_.neighbors(vm1_);
+  EXPECT_EQ(nb.size(), 1u);  // only flow remains
+  EXPECT_TRUE(db_.has_entity(vm1_));
+}
+
+TEST_F(MonitoringDbTest, MetricEraseSingleKind) {
+  const MetricKindId mem = db_.catalog().intern("mem_util");
+  db_.metrics().put(vm1_, mem, {1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(db_.metrics().kinds_of(vm1_).size(), 2u);
+  db_.metrics().erase(vm1_, cpu_);
+  EXPECT_EQ(db_.metrics().find(vm1_, cpu_), nullptr);
+  ASSERT_EQ(db_.metrics().kinds_of(vm1_).size(), 1u);
+  EXPECT_EQ(db_.metrics().kinds_of(vm1_)[0], mem);
+}
+
+TEST(MonitoringDb, DirectedAssociationIsRecorded) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kService, "caller");
+  const auto b = db.add_entity(EntityType::kService, "callee");
+  db.add_association(a, b, RelationKind::kCallerCallee, /*directed=*/true);
+  ASSERT_EQ(db.association_count(), 1u);
+  EXPECT_TRUE(db.association(0).directed);
+}
+
+}  // namespace
+}  // namespace murphy::telemetry
