@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_interference.dir/bench_fig5_interference.cpp.o"
+  "CMakeFiles/bench_fig5_interference.dir/bench_fig5_interference.cpp.o.d"
+  "bench_fig5_interference"
+  "bench_fig5_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

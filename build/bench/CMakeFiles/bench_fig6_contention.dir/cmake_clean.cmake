@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_contention.dir/bench_fig6_contention.cpp.o"
+  "CMakeFiles/bench_fig6_contention.dir/bench_fig6_contention.cpp.o.d"
+  "bench_fig6_contention"
+  "bench_fig6_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

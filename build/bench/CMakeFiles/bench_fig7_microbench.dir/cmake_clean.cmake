@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_microbench.dir/bench_fig7_microbench.cpp.o"
+  "CMakeFiles/bench_fig7_microbench.dir/bench_fig7_microbench.cpp.o.d"
+  "bench_fig7_microbench"
+  "bench_fig7_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_gibbs.dir/bench_fig8b_gibbs.cpp.o"
+  "CMakeFiles/bench_fig8b_gibbs.dir/bench_fig8b_gibbs.cpp.o.d"
+  "bench_fig8b_gibbs"
+  "bench_fig8b_gibbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_gibbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_ablations.dir/bench_sensitivity_ablations.cpp.o"
+  "CMakeFiles/bench_sensitivity_ablations.dir/bench_sensitivity_ablations.cpp.o.d"
+  "bench_sensitivity_ablations"
+  "bench_sensitivity_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_incidents.dir/bench_table1_incidents.cpp.o"
+  "CMakeFiles/bench_table1_incidents.dir/bench_table1_incidents.cpp.o.d"
+  "bench_table1_incidents"
+  "bench_table1_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_robustness.dir/bench_table2_robustness.cpp.o"
+  "CMakeFiles/bench_table2_robustness.dir/bench_table2_robustness.cpp.o.d"
+  "bench_table2_robustness"
+  "bench_table2_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

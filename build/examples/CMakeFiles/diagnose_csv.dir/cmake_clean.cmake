@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_csv.dir/diagnose_csv.cpp.o"
+  "CMakeFiles/diagnose_csv.dir/diagnose_csv.cpp.o.d"
+  "diagnose_csv"
+  "diagnose_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_incident.dir/enterprise_incident.cpp.o"
+  "CMakeFiles/enterprise_incident.dir/enterprise_incident.cpp.o.d"
+  "enterprise_incident"
+  "enterprise_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_interference.dir/microservice_interference.cpp.o"
+  "CMakeFiles/microservice_interference.dir/microservice_interference.cpp.o.d"
+  "microservice_interference"
+  "microservice_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

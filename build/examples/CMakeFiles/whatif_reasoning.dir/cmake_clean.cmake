@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_reasoning.dir/whatif_reasoning.cpp.o"
+  "CMakeFiles/whatif_reasoning.dir/whatif_reasoning.cpp.o.d"
+  "whatif_reasoning"
+  "whatif_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

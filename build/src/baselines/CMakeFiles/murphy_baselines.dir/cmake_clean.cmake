@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_baselines.dir/explainit.cpp.o"
+  "CMakeFiles/murphy_baselines.dir/explainit.cpp.o.d"
+  "CMakeFiles/murphy_baselines.dir/netmedic.cpp.o"
+  "CMakeFiles/murphy_baselines.dir/netmedic.cpp.o.d"
+  "CMakeFiles/murphy_baselines.dir/sage.cpp.o"
+  "CMakeFiles/murphy_baselines.dir/sage.cpp.o.d"
+  "libmurphy_baselines.a"
+  "libmurphy_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_common.dir/rng.cpp.o"
+  "CMakeFiles/murphy_common.dir/rng.cpp.o.d"
+  "CMakeFiles/murphy_common.dir/strings.cpp.o"
+  "CMakeFiles/murphy_common.dir/strings.cpp.o.d"
+  "CMakeFiles/murphy_common.dir/time_axis.cpp.o"
+  "CMakeFiles/murphy_common.dir/time_axis.cpp.o.d"
+  "libmurphy_common.a"
+  "libmurphy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/murphy_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/murphy_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/murphy_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/factor_model.cpp" "src/core/CMakeFiles/murphy_core.dir/factor_model.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/factor_model.cpp.o.d"
+  "/root/repo/src/core/metric_space.cpp" "src/core/CMakeFiles/murphy_core.dir/metric_space.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/metric_space.cpp.o.d"
+  "/root/repo/src/core/murphy.cpp" "src/core/CMakeFiles/murphy_core.dir/murphy.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/murphy.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/murphy_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/symptom_finder.cpp" "src/core/CMakeFiles/murphy_core.dir/symptom_finder.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/symptom_finder.cpp.o.d"
+  "/root/repo/src/core/thresholds.cpp" "src/core/CMakeFiles/murphy_core.dir/thresholds.cpp.o" "gcc" "src/core/CMakeFiles/murphy_core.dir/thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murphy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/murphy_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/murphy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/murphy_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_core.dir/anomaly.cpp.o"
+  "CMakeFiles/murphy_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/batch.cpp.o"
+  "CMakeFiles/murphy_core.dir/batch.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/explain.cpp.o"
+  "CMakeFiles/murphy_core.dir/explain.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/factor_model.cpp.o"
+  "CMakeFiles/murphy_core.dir/factor_model.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/metric_space.cpp.o"
+  "CMakeFiles/murphy_core.dir/metric_space.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/murphy.cpp.o"
+  "CMakeFiles/murphy_core.dir/murphy.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/sampler.cpp.o"
+  "CMakeFiles/murphy_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/symptom_finder.cpp.o"
+  "CMakeFiles/murphy_core.dir/symptom_finder.cpp.o.d"
+  "CMakeFiles/murphy_core.dir/thresholds.cpp.o"
+  "CMakeFiles/murphy_core.dir/thresholds.cpp.o.d"
+  "libmurphy_core.a"
+  "libmurphy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulation/app_model.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/app_model.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/app_model.cpp.o.d"
+  "/root/repo/src/emulation/faults.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/faults.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/faults.cpp.o.d"
+  "/root/repo/src/emulation/scenarios.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/scenarios.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/scenarios.cpp.o.d"
+  "/root/repo/src/emulation/simulator.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/simulator.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/simulator.cpp.o.d"
+  "/root/repo/src/emulation/trace_discovery.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/trace_discovery.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/trace_discovery.cpp.o.d"
+  "/root/repo/src/emulation/tracing.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/tracing.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/tracing.cpp.o.d"
+  "/root/repo/src/emulation/workload.cpp" "src/emulation/CMakeFiles/murphy_emulation.dir/workload.cpp.o" "gcc" "src/emulation/CMakeFiles/murphy_emulation.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murphy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/murphy_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_emulation.dir/app_model.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/app_model.cpp.o.d"
+  "CMakeFiles/murphy_emulation.dir/faults.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/faults.cpp.o.d"
+  "CMakeFiles/murphy_emulation.dir/scenarios.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/scenarios.cpp.o.d"
+  "CMakeFiles/murphy_emulation.dir/simulator.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/simulator.cpp.o.d"
+  "CMakeFiles/murphy_emulation.dir/trace_discovery.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/trace_discovery.cpp.o.d"
+  "CMakeFiles/murphy_emulation.dir/tracing.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/tracing.cpp.o.d"
+  "CMakeFiles/murphy_emulation.dir/workload.cpp.o"
+  "CMakeFiles/murphy_emulation.dir/workload.cpp.o.d"
+  "libmurphy_emulation.a"
+  "libmurphy_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enterprise/dynamics.cpp" "src/enterprise/CMakeFiles/murphy_enterprise.dir/dynamics.cpp.o" "gcc" "src/enterprise/CMakeFiles/murphy_enterprise.dir/dynamics.cpp.o.d"
+  "/root/repo/src/enterprise/incidents.cpp" "src/enterprise/CMakeFiles/murphy_enterprise.dir/incidents.cpp.o" "gcc" "src/enterprise/CMakeFiles/murphy_enterprise.dir/incidents.cpp.o.d"
+  "/root/repo/src/enterprise/metrics_dataset.cpp" "src/enterprise/CMakeFiles/murphy_enterprise.dir/metrics_dataset.cpp.o" "gcc" "src/enterprise/CMakeFiles/murphy_enterprise.dir/metrics_dataset.cpp.o.d"
+  "/root/repo/src/enterprise/topology.cpp" "src/enterprise/CMakeFiles/murphy_enterprise.dir/topology.cpp.o" "gcc" "src/enterprise/CMakeFiles/murphy_enterprise.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murphy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/murphy_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

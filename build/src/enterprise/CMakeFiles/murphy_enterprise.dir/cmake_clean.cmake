@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_enterprise.dir/dynamics.cpp.o"
+  "CMakeFiles/murphy_enterprise.dir/dynamics.cpp.o.d"
+  "CMakeFiles/murphy_enterprise.dir/incidents.cpp.o"
+  "CMakeFiles/murphy_enterprise.dir/incidents.cpp.o.d"
+  "CMakeFiles/murphy_enterprise.dir/metrics_dataset.cpp.o"
+  "CMakeFiles/murphy_enterprise.dir/metrics_dataset.cpp.o.d"
+  "CMakeFiles/murphy_enterprise.dir/topology.cpp.o"
+  "CMakeFiles/murphy_enterprise.dir/topology.cpp.o.d"
+  "libmurphy_enterprise.a"
+  "libmurphy_enterprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_eval.dir/ascii_chart.cpp.o"
+  "CMakeFiles/murphy_eval.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/murphy_eval.dir/degradation.cpp.o"
+  "CMakeFiles/murphy_eval.dir/degradation.cpp.o.d"
+  "CMakeFiles/murphy_eval.dir/metrics.cpp.o"
+  "CMakeFiles/murphy_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/murphy_eval.dir/runner.cpp.o"
+  "CMakeFiles/murphy_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/murphy_eval.dir/tables.cpp.o"
+  "CMakeFiles/murphy_eval.dir/tables.cpp.o.d"
+  "libmurphy_eval.a"
+  "libmurphy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_graph.dir/relationship_graph.cpp.o"
+  "CMakeFiles/murphy_graph.dir/relationship_graph.cpp.o.d"
+  "libmurphy_graph.a"
+  "libmurphy_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

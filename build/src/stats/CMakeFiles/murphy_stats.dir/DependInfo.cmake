@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/murphy_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/gmm.cpp" "src/stats/CMakeFiles/murphy_stats.dir/gmm.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/gmm.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/murphy_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/mlp.cpp" "src/stats/CMakeFiles/murphy_stats.dir/mlp.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/mlp.cpp.o.d"
+  "/root/repo/src/stats/predictor.cpp" "src/stats/CMakeFiles/murphy_stats.dir/predictor.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/predictor.cpp.o.d"
+  "/root/repo/src/stats/ridge.cpp" "src/stats/CMakeFiles/murphy_stats.dir/ridge.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/ridge.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/murphy_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/svr.cpp" "src/stats/CMakeFiles/murphy_stats.dir/svr.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/svr.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "src/stats/CMakeFiles/murphy_stats.dir/ttest.cpp.o" "gcc" "src/stats/CMakeFiles/murphy_stats.dir/ttest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murphy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

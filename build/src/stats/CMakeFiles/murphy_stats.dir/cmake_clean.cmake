@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_stats.dir/correlation.cpp.o"
+  "CMakeFiles/murphy_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/gmm.cpp.o"
+  "CMakeFiles/murphy_stats.dir/gmm.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/matrix.cpp.o"
+  "CMakeFiles/murphy_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/mlp.cpp.o"
+  "CMakeFiles/murphy_stats.dir/mlp.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/predictor.cpp.o"
+  "CMakeFiles/murphy_stats.dir/predictor.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/ridge.cpp.o"
+  "CMakeFiles/murphy_stats.dir/ridge.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/summary.cpp.o"
+  "CMakeFiles/murphy_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/svr.cpp.o"
+  "CMakeFiles/murphy_stats.dir/svr.cpp.o.d"
+  "CMakeFiles/murphy_stats.dir/ttest.cpp.o"
+  "CMakeFiles/murphy_stats.dir/ttest.cpp.o.d"
+  "libmurphy_stats.a"
+  "libmurphy_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/config_events.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/config_events.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/config_events.cpp.o.d"
+  "/root/repo/src/telemetry/csv_export.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/csv_export.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/csv_export.cpp.o.d"
+  "/root/repo/src/telemetry/csv_import.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/csv_import.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/csv_import.cpp.o.d"
+  "/root/repo/src/telemetry/entity.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/entity.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/entity.cpp.o.d"
+  "/root/repo/src/telemetry/metric_catalog.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/metric_catalog.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/metric_catalog.cpp.o.d"
+  "/root/repo/src/telemetry/metric_store.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/metric_store.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/metric_store.cpp.o.d"
+  "/root/repo/src/telemetry/monitoring_db.cpp" "src/telemetry/CMakeFiles/murphy_telemetry.dir/monitoring_db.cpp.o" "gcc" "src/telemetry/CMakeFiles/murphy_telemetry.dir/monitoring_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murphy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murphy_telemetry.dir/config_events.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/config_events.cpp.o.d"
+  "CMakeFiles/murphy_telemetry.dir/csv_export.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/csv_export.cpp.o.d"
+  "CMakeFiles/murphy_telemetry.dir/csv_import.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/csv_import.cpp.o.d"
+  "CMakeFiles/murphy_telemetry.dir/entity.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/entity.cpp.o.d"
+  "CMakeFiles/murphy_telemetry.dir/metric_catalog.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/metric_catalog.cpp.o.d"
+  "CMakeFiles/murphy_telemetry.dir/metric_store.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/metric_store.cpp.o.d"
+  "CMakeFiles/murphy_telemetry.dir/monitoring_db.cpp.o"
+  "CMakeFiles/murphy_telemetry.dir/monitoring_db.cpp.o.d"
+  "libmurphy_telemetry.a"
+  "libmurphy_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murphy_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmurphy_telemetry.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_test.dir/enterprise_test.cpp.o"
+  "CMakeFiles/enterprise_test.dir/enterprise_test.cpp.o.d"
+  "enterprise_test"
+  "enterprise_test.pdb"
+  "enterprise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/regression_test.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/regression_test.dir/regression_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/murphy_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/murphy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/emulation/CMakeFiles/murphy_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/enterprise/CMakeFiles/murphy_enterprise.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/murphy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/murphy_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/murphy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/murphy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/murphy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_graph_test.dir/graph_test.cpp.o"
+  "CMakeFiles/telemetry_graph_test.dir/graph_test.cpp.o.d"
+  "CMakeFiles/telemetry_graph_test.dir/telemetry_test.cpp.o"
+  "CMakeFiles/telemetry_graph_test.dir/telemetry_test.cpp.o.d"
+  "telemetry_graph_test"
+  "telemetry_graph_test.pdb"
+  "telemetry_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
