@@ -37,18 +37,21 @@ enterprise::Topology make_env(std::size_t apps, std::size_t slices) {
 void BM_OnlineTraining(benchmark::State& state) {
   const std::size_t apps = static_cast<std::size_t>(state.range(0));
   const std::size_t slices = static_cast<std::size_t>(state.range(1));
+  const std::size_t threads = static_cast<std::size_t>(state.range(2));
   const auto topo = make_env(apps, slices);
   const std::vector<EntityId> seeds{topo.vms[0]};
   const auto graph = graph::RelationshipGraph::build(topo.db, seeds, 4);
   const core::MetricSpace space(topo.db, graph);
   for (auto _ : state) {
     core::FactorTrainingOptions opts;
+    opts.num_threads = threads;
     const core::FactorSet factors(topo.db, graph, space, 0, slices, opts);
     benchmark::DoNotOptimize(&factors);
   }
   state.counters["entities"] = static_cast<double>(graph.node_count());
   state.counters["vars"] = static_cast<double>(space.size());
   state.counters["T"] = static_cast<double>(slices);
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
 void BM_CounterfactualEvaluation(benchmark::State& state) {
@@ -95,9 +98,11 @@ void BM_CounterfactualEvaluation(benchmark::State& state) {
 
 void BM_EndToEndDiagnosis(benchmark::State& state) {
   const std::size_t apps = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
   const auto topo = make_env(apps, 168);
   core::MurphyOptions mopts;
   mopts.sampler.num_samples = 100;
+  mopts.num_threads = threads;
   core::MurphyDiagnoser murphy(mopts);
   core::DiagnosisRequest req;
   req.db = &topo.db;
@@ -106,22 +111,36 @@ void BM_EndToEndDiagnosis(benchmark::State& state) {
   req.now = 167;
   req.train_begin = 0;
   req.train_end = 168;
+  double train_ms = 0.0, infer_ms = 0.0;
+  std::size_t iters = 0;
   for (auto _ : state) {
     auto result = murphy.diagnose(req);
     benchmark::DoNotOptimize(result);
+    train_ms += result.timings.training_ms;
+    infer_ms += result.timings.inference_ms;
+    ++iters;
   }
   state.counters["db_entities"] = static_cast<double>(topo.entity_count());
+  state.counters["threads"] = static_cast<double>(threads);
+  if (iters > 0) {
+    state.counters["train_ms"] = train_ms / static_cast<double>(iters);
+    state.counters["infer_ms"] = infer_ms / static_cast<double>(iters);
+  }
 }
 
 }  // namespace
 
-// Training cost ~ (N+M) * T: sweep graph size and history length.
+// Training cost ~ (N+M) * T: sweep graph size, history length, and threads
+// (the speedup column; thread count 0 = one per hardware core).
 BENCHMARK(BM_OnlineTraining)
-    ->Args({2, 168})
-    ->Args({6, 168})
-    ->Args({12, 168})
-    ->Args({6, 84})
-    ->Args({6, 336})
+    ->Args({2, 168, 1})
+    ->Args({6, 168, 1})
+    ->Args({12, 168, 1})
+    ->Args({6, 84, 1})
+    ->Args({6, 336, 1})
+    ->Args({12, 168, 2})
+    ->Args({12, 168, 4})
+    ->Args({12, 168, 0})
     ->Unit(benchmark::kMillisecond);
 
 // Inference cost ~ (N+M) * W: sweep Gibbs rounds.
@@ -132,10 +151,15 @@ BENCHMARK(BM_CounterfactualEvaluation)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// End to end at growing scale; at the largest scale point, sweep threads to
+// measure the parallel-engine speedup over the serial (1-thread) path.
 BENCHMARK(BM_EndToEndDiagnosis)
-    ->Arg(2)
-    ->Arg(6)
-    ->Arg(12)
+    ->Args({2, 1})
+    ->Args({6, 1})
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->Args({12, 0})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI-style check: build + run the full test suite in the default mode and
+# under the sanitizers (ThreadSanitizer for the parallel diagnosis engine,
+# ASan+UBSan for memory/UB). A race or sanitizer report fails the run.
+#
+# Usage:
+#   scripts/check.sh                # default + thread + address
+#   scripts/check.sh thread         # just one mode
+#   scripts/check.sh default thread # any subset, in order
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+modes=("$@")
+if [ ${#modes[@]} -eq 0 ]; then
+  modes=(default thread address)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for mode in "${modes[@]}"; do
+  case "$mode" in
+    default)  dir=build;         sanitize="" ;;
+    thread)   dir=build-tsan;    sanitize=thread ;;
+    address)  dir=build-asan;    sanitize=address ;;
+    undefined) dir=build-ubsan;  sanitize=undefined ;;
+    *) echo "unknown mode: $mode (want default|thread|address|undefined)" >&2
+       exit 2 ;;
+  esac
+
+  echo "==> [$mode] configure + build ($dir)"
+  cmake -B "$dir" -S . -DMURPHY_SANITIZE="$sanitize"
+  cmake --build "$dir" -j "$jobs"
+
+  echo "==> [$mode] ctest"
+  # halt_on_error makes a TSAN race / ASan report fail the owning test
+  # instead of scrolling past; second_deadlock_stack improves lock reports.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir "$dir" -j "$jobs" --output-on-failure
+done
+
+echo "==> all modes passed: ${modes[*]}"

@@ -19,6 +19,12 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed ^ (stream * 0xBF58476D1CE4E5B9ULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

@@ -16,6 +16,13 @@ namespace murphy {
 // SplitMix64 step; used for seeding and as a cheap stateless mixer.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
+// Deterministic mix of a base seed and a stream index, for deriving one
+// independent RNG stream per parallel work item (per candidate, per
+// variable, per symptom). Because the derived seed depends only on (seed,
+// stream) — never on which thread runs the item or in what order — results
+// are bitwise identical for any thread count.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
 // xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:

@@ -1,0 +1,97 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace murphy {
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_iterations() {
+  // Claim-one-index scheduling: dynamic load balance without chunk tuning.
+  // Iterations are independent by contract, so claim order is irrelevant to
+  // the result.
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    lock.unlock();
+    run_iterations();
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    pending_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  run_iterations();  // the caller is a full participant
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void parallel_for(std::size_t num_threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  const std::size_t k = std::min(resolve_num_threads(num_threads),
+                                 std::max<std::size_t>(n, 1));
+  if (k <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(k - 1);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace murphy

@@ -1,0 +1,70 @@
+// Minimal fixed-size thread pool with an index-claiming parallel_for.
+//
+// Murphy's hot loops (per-variable factor fits, per-candidate counterfactual
+// evaluations, per-symptom batch diagnoses) are embarrassingly parallel:
+// every iteration writes only its own output slot and draws from its own
+// deterministically derived RNG stream (see mix_seed in rng.h). The schedule
+// can therefore be fully dynamic — workers claim the next iteration index
+// from one atomic counter; no work stealing, no chunking heuristics — while
+// results stay bitwise identical for any thread count or interleaving. See
+// DESIGN.md "Execution model".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace murphy {
+
+// Resolves a user-facing thread-count option: 0 means "use the hardware"
+// (std::thread::hardware_concurrency, at least 1), any other value is taken
+// verbatim.
+[[nodiscard]] std::size_t resolve_num_threads(std::size_t requested);
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` persistent worker threads. Zero is legal: every
+  // parallel_for then runs inline on the calling thread.
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  // Runs body(i) for every i in [0, n). The calling thread participates, so
+  // n iterations engage worker_count() + 1 threads at most. Blocks until all
+  // iterations finish; the first exception thrown by any iteration is
+  // rethrown here after the loop drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void run_iterations();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // caller waits for batch completion
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mu_
+  std::size_t n_ = 0;                 // guarded by mu_ (stable during batch)
+  std::atomic<std::size_t> next_{0};  // next unclaimed iteration index
+  std::size_t pending_ = 0;           // workers still inside current batch
+  std::uint64_t epoch_ = 0;           // batch counter, guarded by mu_
+  bool stop_ = false;
+  std::exception_ptr error_;          // first iteration failure, guarded by mu_
+};
+
+// One-shot convenience: runs body(i) for i in [0, n) on `num_threads`
+// threads (0 = hardware concurrency). num_threads <= 1 — the legacy serial
+// path — executes a plain inline loop with no atomics or thread machinery.
+void parallel_for(std::size_t num_threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace murphy

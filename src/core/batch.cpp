@@ -3,7 +3,37 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/common/thread_pool.h"
+
 namespace murphy::core {
+
+std::vector<RankedRootCause> fuse_reciprocal_rank(
+    std::span<const Symptom> symptoms,
+    std::span<const DiagnosisResult> per_symptom,
+    std::size_t per_symptom_top_k) {
+  std::unordered_map<EntityId, double> fused;
+  for (std::size_t s = 0; s < symptoms.size(); ++s) {
+    const DiagnosisResult& diagnosis = per_symptom[s];
+    for (std::size_t r = 0;
+         r < diagnosis.causes.size() && r < per_symptom_top_k; ++r) {
+      // The symptom entity itself is excluded from the merge (it is an
+      // effect here, even if self-caused cases keep it in the per-symptom
+      // list).
+      if (diagnosis.causes[r].entity == symptoms[s].entity) continue;
+      fused[diagnosis.causes[r].entity] += 1.0 / static_cast<double>(r + 1);
+    }
+  }
+  std::vector<RankedRootCause> merged;
+  merged.reserve(fused.size());
+  for (const auto& [entity, score] : fused)
+    merged.push_back(RankedRootCause{entity, score});
+  std::sort(merged.begin(), merged.end(),
+            [](const RankedRootCause& a, const RankedRootCause& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  return merged;
+}
 
 BatchDiagnoser::BatchDiagnoser(BatchOptions opts) : opts_(opts) {}
 
@@ -22,39 +52,30 @@ BatchResult BatchDiagnoser::diagnose_symptoms(
     TimeIndex now, TimeIndex train_begin, TimeIndex train_end) {
   BatchResult result;
   result.symptoms = std::move(symptoms);
+  result.per_symptom.resize(result.symptoms.size());
 
-  MurphyDiagnoser murphy(opts_.murphy);
-  std::unordered_map<EntityId, double> fused;
-  for (const Symptom& symptom : result.symptoms) {
-    DiagnosisRequest request;
-    request.db = &db;
-    request.symptom_entity = symptom.entity;
-    request.symptom_metric = symptom.metric;
-    request.now = now;
-    request.train_begin = train_begin;
-    request.train_end = train_end;
-    auto diagnosis = murphy.diagnose(request);
+  // Symptoms parallelize at the outer level; when they do, the inner
+  // per-candidate parallelism is switched off to avoid oversubscription.
+  // Either split produces the same bits (determinism is per-diagnosis).
+  MurphyOptions inner = opts_.murphy;
+  if (resolve_num_threads(opts_.murphy.num_threads) > 1 &&
+      result.symptoms.size() > 1)
+    inner.num_threads = 1;
+  parallel_for(
+      opts_.murphy.num_threads, result.symptoms.size(), [&](std::size_t i) {
+        MurphyDiagnoser murphy(inner);
+        DiagnosisRequest request;
+        request.db = &db;
+        request.symptom_entity = result.symptoms[i].entity;
+        request.symptom_metric = result.symptoms[i].metric;
+        request.now = now;
+        request.train_begin = train_begin;
+        request.train_end = train_end;
+        result.per_symptom[i] = murphy.diagnose(request);
+      });
 
-    for (std::size_t r = 0;
-         r < diagnosis.causes.size() && r < opts_.per_symptom_top_k; ++r) {
-      // Reciprocal-rank fusion; the symptom entity itself is excluded from
-      // the merge (it is an effect here, even if self-caused cases keep it
-      // in the per-symptom list).
-      if (diagnosis.causes[r].entity == symptom.entity) continue;
-      fused[diagnosis.causes[r].entity] +=
-          1.0 / static_cast<double>(r + 1);
-    }
-    result.per_symptom.push_back(std::move(diagnosis));
-  }
-
-  result.merged.reserve(fused.size());
-  for (const auto& [entity, score] : fused)
-    result.merged.push_back(RankedRootCause{entity, score});
-  std::sort(result.merged.begin(), result.merged.end(),
-            [](const RankedRootCause& a, const RankedRootCause& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.entity < b.entity;
-            });
+  result.merged = fuse_reciprocal_rank(result.symptoms, result.per_symptom,
+                                       opts_.per_symptom_top_k);
   return result;
 }
 

@@ -8,12 +8,23 @@
 // symptoms is a stronger suspect than one implicated once.
 #pragma once
 
-#include <map>
+#include <span>
 
 #include "src/core/murphy.h"
 #include "src/core/symptom_finder.h"
 
 namespace murphy::core {
+
+// Reciprocal-rank fusion of per-symptom rankings: entity score = sum over
+// symptoms of 1/rank, counting only the top `per_symptom_top_k` causes of
+// each symptom and excluding each symptom's own entity (it is an effect
+// there). The result is sorted by score, ties broken by entity id, and is
+// invariant under permutation of the (symptoms, per_symptom) pairs.
+// `per_symptom` must parallel `symptoms`.
+[[nodiscard]] std::vector<RankedRootCause> fuse_reciprocal_rank(
+    std::span<const Symptom> symptoms,
+    std::span<const DiagnosisResult> per_symptom,
+    std::size_t per_symptom_top_k);
 
 struct BatchOptions {
   MurphyOptions murphy;
@@ -40,7 +51,11 @@ class BatchDiagnoser {
                                          TimeIndex train_begin,
                                          TimeIndex train_end);
 
-  // Diagnoses an explicit symptom list.
+  // Diagnoses an explicit symptom list. Symptoms are diagnosed in parallel
+  // per opts.murphy.num_threads (each symptom is an independent inference);
+  // because every diagnosis is deterministic regardless of thread count, the
+  // batch result is too, and the inner per-candidate parallelism is disabled
+  // while the outer per-symptom loop is parallel without changing output.
   [[nodiscard]] BatchResult diagnose_symptoms(
       const telemetry::MonitoringDb& db, std::vector<Symptom> symptoms,
       TimeIndex now, TimeIndex train_begin, TimeIndex train_end);

@@ -39,6 +39,19 @@ struct RankedRootCause {
   double score = 0.0;
 };
 
+// Per-phase wall-clock timings of one diagnosis, in milliseconds. Murphy
+// fills these (baselines leave zeros) so benches and tests can assert where
+// time goes instead of guessing from end-to-end numbers. Timings are the one
+// part of a DiagnosisResult that is NOT deterministic.
+struct PhaseTimings {
+  double graph_ms = 0.0;      // relationship-graph build + metric space
+  double training_ms = 0.0;   // online factor training
+  double search_ms = 0.0;     // snapshot + candidate pruning
+  double inference_ms = 0.0;  // counterfactual evaluation of all candidates
+  double explain_ms = 0.0;    // labeling + explanation chains
+  double total_ms = 0.0;      // whole diagnose() call
+};
+
 struct DiagnosisResult {
   // Candidates in rank order (index 0 = top suspect).
   std::vector<RankedRootCause> causes;
@@ -52,6 +65,9 @@ struct DiagnosisResult {
   // by freshly spawned/migrated/resized entities are not missed. Murphy
   // fills this from the db's config-event log; baselines leave it empty.
   std::vector<telemetry::ConfigEvent> recent_config_changes;
+
+  // Where the wall-clock went (see PhaseTimings).
+  PhaseTimings timings;
 
   // Rank (1-based) of `entity`, or 0 when absent.
   [[nodiscard]] std::size_t rank_of(EntityId entity) const {

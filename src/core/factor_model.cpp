@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/thread_pool.h"
 #include "src/stats/correlation.h"
 #include "src/stats/ridge.h"
 #include "src/stats/summary.h"
@@ -18,15 +19,17 @@ MetricConditional::MetricConditional(VarIndex target,
       features_(std::move(features)),
       model_(std::move(model)),
       hist_mean_(hist_mean),
-      hist_sigma_(hist_sigma) {
-  feature_buf_.resize(features_.size());
-}
+      hist_sigma_(hist_sigma) {}
 
 double MetricConditional::predict(std::span<const double> state) const {
   if (features_.empty() || model_ == nullptr) return hist_mean_;
+  // Thread-local scratch: conditionals are shared read-only across sampler
+  // threads, so a per-object buffer would race.
+  thread_local std::vector<double> feature_buf;
+  feature_buf.resize(features_.size());
   for (std::size_t i = 0; i < features_.size(); ++i)
-    feature_buf_[i] = state[features_[i]];
-  return model_->predict(feature_buf_);
+    feature_buf[i] = state[features_[i]];
+  return model_->predict(feature_buf);
 }
 
 double MetricConditional::sample(std::span<const double> state,
@@ -49,9 +52,11 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
   for (VarIndex v = 0; v < space.size(); ++v)
     hist[v] = space.history(db, v, train_begin, train_end);
 
-  Rng seed_rng(opts.seed);
-
-  for (VarIndex target = 0; target < space.size(); ++target) {
+  // One ridge fit per variable, all independent: parallelize over targets.
+  // Each target's predictor seed is derived from (opts.seed, target) alone,
+  // so the trained set is bitwise identical at any thread count.
+  parallel_for(opts.num_threads, space.size(), [&](std::size_t t) {
+    const VarIndex target = t;
     const auto& tvar = space.var(target);
     const auto& y = hist[target];
     const double mu = stats::mean(y);
@@ -88,7 +93,7 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
         for (std::size_t c = 0; c < features.size(); ++c)
           x.at(r, c) = hist[features[c]][r];
       stats::PredictorOptions popts = opts.predictor;
-      popts.seed = seed_rng();
+      popts.seed = mix_seed(opts.seed, target);
       model = stats::make_predictor(opts.model, popts);
       if (opts.recency_half_life > 0.0 &&
           opts.model == stats::ModelKind::kRidge) {
@@ -119,7 +124,7 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
     cond->set_training_mase(mase_err);
     cond->set_robust(stats::median(y), stats::mad_sigma(y));
     conditionals_[target] = std::move(cond);
-  }
+  });
 }
 
 void FactorSet::resample_node(graph::NodeIndex node, const MetricSpace& space,

@@ -25,6 +25,9 @@ class MetricConditional {
                     std::unique_ptr<stats::Predictor> model,
                     double hist_mean, double hist_sigma);
 
+  // predict() and sample() are safe to call concurrently from many threads
+  // (scratch space is thread-local); the setters are not.
+
   [[nodiscard]] VarIndex target() const { return target_; }
   [[nodiscard]] std::span<const VarIndex> features() const {
     return features_;
@@ -64,7 +67,6 @@ class MetricConditional {
   double robust_center_ = 0.0;
   double robust_sigma_ = 0.0;
   double training_mase_ = 0.0;
-  mutable std::vector<double> feature_buf_;  // scratch, avoids allocation
 };
 
 struct FactorTrainingOptions {
@@ -83,12 +85,19 @@ struct FactorTrainingOptions {
   // 0 = uniform weighting (the paper's shipped configuration).
   double recency_half_life = 0.0;
   std::uint64_t seed = 1;
+  // Threads for the per-variable fits (each fit is independent). 0 = one per
+  // hardware core, 1 = serial. Any value yields bitwise-identical factors:
+  // predictor seeds are derived per variable via mix_seed, not drawn from a
+  // shared sequential stream.
+  std::size_t num_threads = 1;
 };
 
 // The MRF: one MetricConditional per variable, trained online.
 class FactorSet {
  public:
   // Trains every conditional on the window [train_begin, train_end).
+  // Training parallelizes over variables per opts.num_threads; the trained
+  // set is immutable afterwards and safe for concurrent readers.
   FactorSet(const telemetry::MonitoringDb& db,
             const graph::RelationshipGraph& graph, const MetricSpace& space,
             TimeIndex train_begin, TimeIndex train_end,

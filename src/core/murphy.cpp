@@ -2,10 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <optional>
 
+#include "src/common/thread_pool.h"
 #include "src/core/explain.h"
 
 namespace murphy::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+TimeIndex recent_config_window_begin(TimeIndex train_begin,
+                                     TimeIndex train_end, TimeIndex now) {
+  const TimeIndex span = train_end > train_begin ? train_end - train_begin : 0;
+  // ~10% of the training range, but never an empty window: with a short
+  // range (span < 10) the old `span / 10` arithmetic degenerated to a
+  // zero-length window that silently dropped every change before `now`.
+  const TimeIndex window = std::max<TimeIndex>(1, span / 10);
+  return now > window ? now - window : 0;  // clamp, TimeIndex is unsigned
+}
 
 MurphyDiagnoser::MurphyDiagnoser(MurphyOptions opts) : opts_(opts) {}
 
@@ -13,6 +37,7 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
   assert(request.db != nullptr);
   const telemetry::MonitoringDb& db = *request.db;
   DiagnosisResult result;
+  const auto t_start = Clock::now();
 
   // 1. Relationship graph from the symptom entity.
   const std::vector<EntityId> seeds{request.symptom_entity};
@@ -26,50 +51,66 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
   if (!kind.valid()) return result;
   const auto symptom_var = space.find(request.symptom_entity, kind);
   if (!symptom_var) return result;
+  result.timings.graph_ms = ms_since(t_start);
 
   // 2. Online training on [train_begin, train_end).
+  const auto t_train = Clock::now();
   FactorTrainingOptions topts = opts_.training;
   topts.seed = opts_.seed;
+  topts.num_threads = opts_.num_threads;
   const FactorSet factors(db, graph, space, request.train_begin,
                           request.train_end, topts);
+  result.timings.training_ms = ms_since(t_train);
 
+  // 3. Candidate pruning.
+  const auto t_search = Clock::now();
   const auto state = space.snapshot(db, request.now);
   const bool symptom_high =
       state[*symptom_var] >=
       factors.conditional(*symptom_var).robust_center();
 
-  // 3. Candidate pruning.
   CandidateSearchOptions sopts = opts_.search;
   sopts.thresholds = opts_.thresholds;
   const auto candidates = candidate_search(db, graph, space, factors, state,
                                            *symptom_node, sopts);
+  result.timings.search_ms = ms_since(t_search);
 
-  // 4. Counterfactual evaluation of each candidate.
+  // 4. Counterfactual evaluation of each candidate. Candidates are
+  // independent, so evaluate them in parallel; each gets its own RNG stream
+  // derived from (seed, candidate), which makes the verdicts — and hence the
+  // whole diagnosis — bitwise identical at every thread count.
+  const auto t_infer = Clock::now();
   SamplerOptions smp = opts_.sampler;
   smp.seed = opts_.seed ^ 0x5EEDULL;
-  CounterfactualSampler sampler(graph, space, factors, smp);
+  const CounterfactualSampler sampler(graph, space, factors, smp);
 
   struct Accepted {
     graph::NodeIndex node;
     double anomaly;
   };
-  std::vector<Accepted> accepted;
-  for (const graph::NodeIndex cand : candidates) {
+  std::vector<std::optional<Accepted>> verdicts(candidates.size());
+  parallel_for(opts_.num_threads, candidates.size(), [&](std::size_t i) {
+    const graph::NodeIndex cand = candidates[i];
     const NodeAnomaly anomaly = node_anomaly(factors, space, cand, state);
     if (cand == *symptom_node) {
       // The symptom entity itself is a root-cause candidate when its own
       // anomaly is strong (self-inflicted problems); counterfactualizing it
       // against itself is meaningless, so accept on anomaly alone.
       if (anomaly.score > sopts.z_min)
-        accepted.push_back({cand, anomaly.rank_score});
-      continue;
+        verdicts[i] = Accepted{cand, anomaly.rank_score};
+      return;
     }
+    Rng rng(mix_seed(smp.seed, cand));
     const auto verdict =
         sampler.evaluate(cand, anomaly.driver, *symptom_node, *symptom_var,
-                         state, symptom_high);
+                         state, symptom_high, rng);
     if (verdict.is_root_cause)
-      accepted.push_back({cand, anomaly.rank_score});
-  }
+      verdicts[i] = Accepted{cand, anomaly.rank_score};
+  });
+  std::vector<Accepted> accepted;
+  for (const auto& v : verdicts)
+    if (v) accepted.push_back(*v);
+  result.timings.inference_ms = ms_since(t_infer);
 
   // 5. Rank by anomaly score (most anomalous first).
   std::sort(accepted.begin(), accepted.end(),
@@ -79,10 +120,12 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
             });
 
   // 6. Labels + explanation chains.
+  const auto t_explain = Clock::now();
   std::vector<EntityLabel> labels(graph.node_count());
-  for (graph::NodeIndex n = 0; n < graph.node_count(); ++n)
+  parallel_for(opts_.num_threads, graph.node_count(), [&](std::size_t n) {
     labels[n] =
         label_node(db, space, factors, n, state, opts_.thresholds);
+  });
 
   for (const Accepted& a : accepted) {
     result.causes.push_back(
@@ -91,14 +134,15 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
     result.explanations.push_back(
         render_explanation(db, graph, labels, path));
   }
+  result.timings.explain_ms = ms_since(t_explain);
 
   // Surface configuration changes in the recent window (~10% of the
   // training range, i.e. the stretch that likely contains the incident).
-  const TimeIndex span = request.train_end - request.train_begin;
-  const TimeIndex recent =
-      request.now > span / 10 ? request.now - span / 10 : 0;
-  result.recent_config_changes =
-      db.config_events().in_window(recent, request.now + 1);
+  result.recent_config_changes = db.config_events().in_window(
+      recent_config_window_begin(request.train_begin, request.train_end,
+                                 request.now),
+      request.now + 1);
+  result.timings.total_ms = ms_since(t_start);
   return result;
 }
 

@@ -27,7 +27,22 @@ struct MurphyOptions {
   // Maximum nodes in the relationship graph (§4.1's safety valve).
   std::size_t max_graph_nodes = 100000;
   std::uint64_t seed = 1;
+  // Threads for the parallel phases (factor training, per-candidate
+  // counterfactual evaluation, per-symptom batch diagnosis). 0 = one per
+  // hardware core, 1 = the legacy serial path. The diagnosis output is
+  // bitwise identical at every setting: each parallel work item draws from
+  // its own RNG stream derived via mix_seed, never from a shared sequential
+  // one. See DESIGN.md "Execution model".
+  std::size_t num_threads = 0;
 };
+
+// Start of the "recent" configuration-change window reported alongside a
+// diagnosis: the last ~10% of the training range (at least one slice),
+// ending at `now`, clamped at zero. Exposed for unit testing the underflow
+// edge (now earlier than one window length).
+[[nodiscard]] TimeIndex recent_config_window_begin(TimeIndex train_begin,
+                                                   TimeIndex train_end,
+                                                   TimeIndex now);
 
 class MurphyDiagnoser final : public Diagnoser {
  public:

@@ -30,6 +30,12 @@ double CounterfactualSampler::resample_path(
 CounterfactualVerdict CounterfactualSampler::evaluate(
     graph::NodeIndex a, VarIndex a_var, graph::NodeIndex d, VarIndex d_var,
     std::span<const double> state, bool symptom_high) {
+  return evaluate(a, a_var, d, d_var, state, symptom_high, rng_);
+}
+
+CounterfactualVerdict CounterfactualSampler::evaluate(
+    graph::NodeIndex a, VarIndex a_var, graph::NodeIndex d, VarIndex d_var,
+    std::span<const double> state, bool symptom_high, Rng& rng) const {
   CounterfactualVerdict verdict;
   if (a == d) return verdict;
 
@@ -58,12 +64,12 @@ CounterfactualVerdict CounterfactualSampler::evaluate(
     std::copy(state.begin(), state.end(), work.begin());
     work[a_var] = a_cf;
     d1.push_back(
-        resample_path(path, d_var, work, rng_, opts_.gibbs_rounds));
+        resample_path(path, d_var, work, rng, opts_.gibbs_rounds));
     // Factual start (same resampling so distributions are comparable).
     std::copy(state.begin(), state.end(), work.begin());
     work[a_var] = a_now;
     d2.push_back(
-        resample_path(path, d_var, work, rng_, opts_.gibbs_rounds));
+        resample_path(path, d_var, work, rng, opts_.gibbs_rounds));
   }
 
   const auto t = stats::welch_t_test(d1, d2);

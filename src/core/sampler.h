@@ -51,12 +51,25 @@ class CounterfactualSampler {
   // variable `d_var`. `state` holds the current (incident-time) values;
   // `symptom_high` says whether D's problem is an abnormally HIGH value
   // (true) or LOW (false) — it sets the t-test direction.
+  // This overload draws from the sampler's own stream, so back-to-back
+  // evaluations depend on call order (legacy behaviour, fine serially).
   [[nodiscard]] CounterfactualVerdict evaluate(graph::NodeIndex a,
                                                VarIndex a_var,
                                                graph::NodeIndex d,
                                                VarIndex d_var,
                                                std::span<const double> state,
                                                bool symptom_high);
+
+  // Order-independent variant: the caller supplies the RNG (typically one
+  // derived per candidate via mix_seed). Const and free of shared mutable
+  // state, so many threads may evaluate concurrently on one sampler.
+  [[nodiscard]] CounterfactualVerdict evaluate(graph::NodeIndex a,
+                                               VarIndex a_var,
+                                               graph::NodeIndex d,
+                                               VarIndex d_var,
+                                               std::span<const double> state,
+                                               bool symptom_high,
+                                               Rng& rng) const;
 
   // One resampling pass (steps 2-3): resample nodes of `path` (excluding the
   // first, which holds the pinned candidate value) for W rounds, returning

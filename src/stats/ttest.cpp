@@ -44,14 +44,26 @@ double beta_cf(double a, double b, double x) {
   return h;
 }
 
+// std::lgamma writes the process-global `signgam` on glibc, which is a data
+// race when t-tests run on concurrent diagnosis threads; use the reentrant
+// variant where the platform provides one.
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 }  // namespace
 
 double incomplete_beta(double a, double b, double x) {
   assert(a > 0.0 && b > 0.0);
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
-                          std::lgamma(b) + a * std::log(x) +
+  const double ln_front = lgamma_threadsafe(a + b) - lgamma_threadsafe(a) -
+                          lgamma_threadsafe(b) + a * std::log(x) +
                           b * std::log(1.0 - x);
   const double front = std::exp(ln_front);
   // Use the symmetry transformation for convergence.

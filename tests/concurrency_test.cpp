@@ -1,0 +1,256 @@
+// The determinism-under-parallelism contract (DESIGN.md "Execution model"):
+// every diagnosis output — ranked causes, explanation chains, merged batch
+// results — is bitwise identical for any MurphyOptions::num_threads, because
+// each parallel work item draws from its own mix_seed-derived RNG stream.
+// Plus unit tests for the ThreadPool / parallel_for machinery itself.
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/batch.h"
+#include "src/core/murphy.h"
+
+namespace murphy {
+namespace {
+
+using telemetry::ConfigEvent;
+using telemetry::ConfigEventKind;
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+// ---------- thread-pool machinery -----------------------------------------
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool pool(3);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 20; ++batch)
+    pool.parallel_for(50, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, PropagatesFirstIterationException) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 13)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The loop drains rather than abandoning claimed iterations.
+  EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::size_t sum = 0;  // no atomics needed: inline on this thread
+  pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(ParallelFor, SerialPathMatchesParallelPath) {
+  std::vector<double> serial(257), parallel(257);
+  parallel_for(1, serial.size(),
+               [&](std::size_t i) { serial[i] = std::sqrt(double(i)); });
+  parallel_for(8, parallel.size(),
+               [&](std::size_t i) { parallel[i] = std::sqrt(double(i)); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(MixSeed, IndependentOfOrderAndDistinctPerStream) {
+  // Same (seed, stream) -> same value; distinct streams -> distinct values.
+  EXPECT_EQ(mix_seed(7, 42), mix_seed(7, 42));
+  EXPECT_NE(mix_seed(7, 42), mix_seed(7, 43));
+  EXPECT_NE(mix_seed(7, 42), mix_seed(8, 42));
+  // Stream 0 must not collapse onto the bare seed.
+  EXPECT_NE(mix_seed(7, 0), mix_seed(7, 1));
+}
+
+// ---------- diagnosis determinism -----------------------------------------
+
+// Chain A -> B -> C -> D with a late surge injected at A that propagates
+// down; D is the symptom. Rich enough to produce several candidates, an
+// explanation chain, and recent config events.
+struct ChainEnv {
+  MonitoringDb db;
+  EntityId a, b, c, d;
+  MetricKindId load;
+};
+
+ChainEnv make_chain_env(std::size_t slices = 200) {
+  ChainEnv e;
+  e.a = e.db.add_entity(EntityType::kVm, "A");
+  e.b = e.db.add_entity(EntityType::kVm, "B");
+  e.c = e.db.add_entity(EntityType::kVm, "C");
+  e.d = e.db.add_entity(EntityType::kVm, "D");
+  e.db.add_association(e.a, e.b, RelationKind::kGeneric);
+  e.db.add_association(e.b, e.c, RelationKind::kGeneric);
+  e.db.add_association(e.c, e.d, RelationKind::kGeneric);
+  e.load = e.db.catalog().intern("cpu_util");
+  e.db.metrics().set_axis(TimeAxis(0.0, 10.0, slices));
+  Rng rng(11);
+  std::vector<double> va(slices), vb(slices), vc(slices), vd(slices);
+  for (std::size_t t = 0; t < slices; ++t) {
+    const double surge = t + 20 >= slices ? 14.0 : 0.0;
+    va[t] = 6.0 + 2.0 * std::sin(0.07 * t) + rng.normal(0.0, 0.3) + surge;
+    vb[t] = 1.6 * va[t] + rng.normal(0.0, 0.3);
+    vc[t] = 1.2 * vb[t] + rng.normal(0.0, 0.4);
+    vd[t] = 1.1 * vc[t] + rng.normal(0.0, 0.4);
+  }
+  e.db.metrics().put(e.a, e.load, va);
+  e.db.metrics().put(e.b, e.load, vb);
+  e.db.metrics().put(e.c, e.load, vc);
+  e.db.metrics().put(e.d, e.load, vd);
+  e.db.config_events().record(
+      ConfigEvent{ConfigEventKind::kResourcesResized, e.b, slices - 5,
+                  "vCPU 4 -> 8"});
+  e.db.config_events().record(
+      ConfigEvent{ConfigEventKind::kConfigPushed, e.a, 10, "ancient"});
+  return e;
+}
+
+core::DiagnosisResult diagnose_chain(const ChainEnv& env,
+                                     std::size_t num_threads) {
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 120;
+  mopts.num_threads = num_threads;
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &env.db;
+  req.symptom_entity = env.d;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  return murphy.diagnose(req);
+}
+
+void expect_bitwise_equal(const core::DiagnosisResult& x,
+                          const core::DiagnosisResult& y) {
+  ASSERT_EQ(x.causes.size(), y.causes.size());
+  for (std::size_t i = 0; i < x.causes.size(); ++i) {
+    EXPECT_EQ(x.causes[i].entity, y.causes[i].entity) << "rank " << i;
+    // EXPECT_EQ on double demands exact (bitwise for non-NaN) equality.
+    EXPECT_EQ(x.causes[i].score, y.causes[i].score) << "rank " << i;
+  }
+  ASSERT_EQ(x.explanations.size(), y.explanations.size());
+  for (std::size_t i = 0; i < x.explanations.size(); ++i)
+    EXPECT_EQ(x.explanations[i], y.explanations[i]) << "rank " << i;
+  ASSERT_EQ(x.recent_config_changes.size(), y.recent_config_changes.size());
+  for (std::size_t i = 0; i < x.recent_config_changes.size(); ++i) {
+    EXPECT_EQ(x.recent_config_changes[i].entity,
+              y.recent_config_changes[i].entity);
+    EXPECT_EQ(x.recent_config_changes[i].at, y.recent_config_changes[i].at);
+  }
+}
+
+TEST(Determinism, DiagnosisBitwiseIdenticalAcrossThreadCounts) {
+  const auto env = make_chain_env();
+  const auto serial = diagnose_chain(env, 1);
+  // The scenario must actually exercise the parallel evaluation path.
+  ASSERT_FALSE(serial.causes.empty());
+  ASSERT_FALSE(serial.recent_config_changes.empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto parallel = diagnose_chain(env, threads);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    expect_bitwise_equal(serial, parallel);
+  }
+}
+
+TEST(Determinism, FactorTrainingBitwiseIdenticalAcrossThreadCounts) {
+  const auto env = make_chain_env();
+  const std::vector<EntityId> seeds{env.d};
+  const auto g = graph::RelationshipGraph::build(env.db, seeds, 4);
+  const core::MetricSpace space(env.db, g);
+  const auto state = space.snapshot(env.db, 199);
+
+  core::FactorTrainingOptions topts;
+  topts.num_threads = 1;
+  const core::FactorSet serial(env.db, g, space, 0, 200, topts);
+  for (const std::size_t threads : {2u, 8u}) {
+    topts.num_threads = threads;
+    const core::FactorSet parallel(env.db, g, space, 0, 200, topts);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (core::VarIndex v = 0; v < serial.size(); ++v) {
+      EXPECT_EQ(serial.conditional(v).predict(state),
+                parallel.conditional(v).predict(state));
+      EXPECT_EQ(serial.conditional(v).hist_mean(),
+                parallel.conditional(v).hist_mean());
+      EXPECT_EQ(serial.conditional(v).robust_sigma(),
+                parallel.conditional(v).robust_sigma());
+      EXPECT_EQ(serial.conditional(v).training_mase(),
+                parallel.conditional(v).training_mase());
+    }
+  }
+}
+
+TEST(Determinism, BatchMergedBitwiseIdenticalAcrossThreadCounts) {
+  const auto env = make_chain_env();
+  const std::vector<core::Symptom> symptoms{
+      core::Symptom{env.d, "cpu_util", 0.0, 5.0},
+      core::Symptom{env.c, "cpu_util", 0.0, 4.0},
+      core::Symptom{env.b, "cpu_util", 0.0, 3.0},
+  };
+
+  auto run = [&](std::size_t threads) {
+    core::BatchOptions bopts;
+    bopts.murphy.sampler.num_samples = 80;
+    bopts.murphy.num_threads = threads;
+    core::BatchDiagnoser batch(bopts);
+    return batch.diagnose_symptoms(env.db, symptoms, 199, 0, 200);
+  };
+
+  const auto serial = run(1);
+  ASSERT_FALSE(serial.merged.empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto parallel = run(threads);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ASSERT_EQ(serial.merged.size(), parallel.merged.size());
+    for (std::size_t i = 0; i < serial.merged.size(); ++i) {
+      EXPECT_EQ(serial.merged[i].entity, parallel.merged[i].entity);
+      EXPECT_EQ(serial.merged[i].score, parallel.merged[i].score);
+    }
+    ASSERT_EQ(serial.per_symptom.size(), parallel.per_symptom.size());
+    for (std::size_t s = 0; s < serial.per_symptom.size(); ++s) {
+      SCOPED_TRACE("symptom " + std::to_string(s));
+      expect_bitwise_equal(serial.per_symptom[s], parallel.per_symptom[s]);
+    }
+  }
+}
+
+TEST(Determinism, HardwareDefaultMatchesSerial) {
+  // num_threads = 0 (one thread per core, whatever this machine has) must
+  // still produce the serial bits.
+  const auto env = make_chain_env();
+  const auto serial = diagnose_chain(env, 1);
+  const auto hw = diagnose_chain(env, 0);
+  expect_bitwise_equal(serial, hw);
+}
+
+TEST(Timings, DiagnosisReportsWhereTimeGoes) {
+  const auto env = make_chain_env();
+  const auto result = diagnose_chain(env, 2);
+  EXPECT_GT(result.timings.training_ms, 0.0);
+  EXPECT_GT(result.timings.inference_ms, 0.0);
+  EXPECT_GE(result.timings.total_ms,
+            result.timings.training_ms + result.timings.inference_ms);
+}
+
+}  // namespace
+}  // namespace murphy

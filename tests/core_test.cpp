@@ -389,5 +389,51 @@ TEST(MurphyEndToEnd, HandlesMissingHistoryGracefully) {
   EXPECT_FALSE(result.causes.empty());
 }
 
+// --- recent-config-change window --------------------------------------------
+
+TEST(ConfigWindow, CoversLastTenthOfTrainingRange) {
+  // span 200 -> window 20 slices: [179, now].
+  EXPECT_EQ(recent_config_window_begin(0, 200, 199), 179u);
+  // A training range that does not start at zero has the same window length.
+  EXPECT_EQ(recent_config_window_begin(100, 300, 299), 279u);
+}
+
+TEST(ConfigWindow, ClampsWhenNowPredatesOneWindowLength) {
+  // now < span/10 must clamp to slice 0, never wrap the unsigned arithmetic.
+  EXPECT_EQ(recent_config_window_begin(0, 200, 5), 0u);
+  EXPECT_EQ(recent_config_window_begin(0, 200, 20), 0u);   // now == window
+  EXPECT_EQ(recent_config_window_begin(0, 200, 21), 1u);
+  EXPECT_EQ(recent_config_window_begin(0, 200, 0), 0u);
+}
+
+TEST(ConfigWindow, ShortTrainingRangeStillLooksBack) {
+  // span < 10 used to yield a zero-length window ([now, now]) that hid every
+  // earlier change; the window floor is one slice.
+  EXPECT_EQ(recent_config_window_begin(0, 5, 4), 3u);
+  EXPECT_EQ(recent_config_window_begin(0, 0, 4), 3u);  // degenerate range
+}
+
+TEST(ConfigWindow, DiagnosisSurfacesRecentChangesOnly) {
+  ChainFixture f(200, 15.0);
+  f.db.config_events().record(telemetry::ConfigEvent{
+      telemetry::ConfigEventKind::kResourcesResized, f.a, 195, "recent"});
+  f.db.config_events().record(telemetry::ConfigEvent{
+      telemetry::ConfigEventKind::kConfigPushed, f.b, 20, "ancient"});
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 60;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &f.db;
+  req.symptom_entity = f.c;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  const auto result = murphy.diagnose(req);
+  ASSERT_EQ(result.recent_config_changes.size(), 1u);
+  EXPECT_EQ(result.recent_config_changes[0].entity, f.a);
+  EXPECT_EQ(result.recent_config_changes[0].at, 195u);
+}
+
 }  // namespace
 }  // namespace murphy::core

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/core/batch.h"
 #include "src/core/factor_model.h"
 #include "src/core/metric_space.h"
 #include "src/core/sampler.h"
@@ -325,6 +326,88 @@ TEST_P(SamplerProperties, CounterfactualAlwaysMovesTowardNormal) {
 
 INSTANTIATE_TEST_SUITE_P(GibbsRounds, SamplerProperties,
                          ::testing::Values(1u, 2u, 4u, 8u));
+
+// ---------- reciprocal-rank-fusion merge properties -------------------------
+
+// Synthetic per-symptom diagnosis naming `entities` in rank order.
+core::DiagnosisResult ranking_of(std::initializer_list<std::uint32_t> ids) {
+  core::DiagnosisResult r;
+  double score = static_cast<double>(ids.size());
+  for (const std::uint32_t id : ids)
+    r.causes.push_back(core::RankedRootCause{EntityId(id), score--});
+  return r;
+}
+
+core::Symptom symptom_at(std::uint32_t id) {
+  return core::Symptom{EntityId(id), "cpu_util", 0.0, 1.0};
+}
+
+TEST(RrfMergeProperties, InvariantUnderSymptomPermutation) {
+  // Three symptoms with overlapping suspect lists; the merge must not care
+  // in which order the symptoms were diagnosed.
+  std::vector<core::Symptom> symptoms{symptom_at(90), symptom_at(91),
+                                      symptom_at(92)};
+  std::vector<core::DiagnosisResult> results;
+  results.push_back(ranking_of({1, 2, 3}));
+  results.push_back(ranking_of({2, 1, 4}));
+  results.push_back(ranking_of({3, 2, 5}));
+
+  const auto baseline = core::fuse_reciprocal_rank(symptoms, results, 10);
+  ASSERT_FALSE(baseline.empty());
+
+  std::vector<std::size_t> perm{0, 1, 2};
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    std::vector<core::Symptom> ps;
+    std::vector<core::DiagnosisResult> pr;
+    for (const std::size_t i : perm) {
+      ps.push_back(symptoms[i]);
+      pr.push_back(results[i]);
+    }
+    const auto merged = core::fuse_reciprocal_rank(ps, pr, 10);
+    ASSERT_EQ(merged.size(), baseline.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].entity, baseline[i].entity) << "rank " << i;
+      EXPECT_EQ(merged[i].score, baseline[i].score) << "rank " << i;
+    }
+  }
+}
+
+TEST(RrfMergeProperties, BreadthOfImplicationBeatsSinglePlacement) {
+  // Entity 7 sits at rank 2 in three symptoms; entity 8 sits at rank 2 in
+  // one. Equal per-appearance rank, broader implication -> 7 must outrank 8.
+  std::vector<core::Symptom> symptoms{symptom_at(90), symptom_at(91),
+                                      symptom_at(92)};
+  std::vector<core::DiagnosisResult> results;
+  results.push_back(ranking_of({1, 7, 3}));
+  results.push_back(ranking_of({2, 7, 4}));
+  results.push_back(ranking_of({5, 8, 7}));  // 8's single appearance
+
+  const auto merged = core::fuse_reciprocal_rank(symptoms, results, 10);
+  std::size_t rank7 = 0, rank8 = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].entity == EntityId(7)) rank7 = i + 1;
+    if (merged[i].entity == EntityId(8)) rank8 = i + 1;
+  }
+  ASSERT_GT(rank7, 0u);
+  ASSERT_GT(rank8, 0u);
+  EXPECT_LT(rank7, rank8);
+}
+
+TEST(RrfMergeProperties, ExcludesSymptomEntitiesAndRespectsTopK) {
+  // The symptom's own entity never enters the merge, and causes beyond
+  // per_symptom_top_k contribute nothing.
+  std::vector<core::Symptom> symptoms{symptom_at(1)};
+  std::vector<core::DiagnosisResult> results;
+  results.push_back(ranking_of({1, 2, 3, 4}));  // 1 is the symptom itself
+
+  const auto merged = core::fuse_reciprocal_rank(symptoms, results, 3);
+  ASSERT_EQ(merged.size(), 2u);  // 2 and 3 survive; 1 excluded, 4 beyond k
+  EXPECT_EQ(merged[0].entity, EntityId(2));
+  EXPECT_EQ(merged[1].entity, EntityId(3));
+  // Scores keep the original (pre-exclusion) ranks: 1/2 and 1/3.
+  EXPECT_DOUBLE_EQ(merged[0].score, 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(merged[1].score, 1.0 / 3.0);
+}
 
 }  // namespace
 }  // namespace murphy
