@@ -95,5 +95,6 @@ int main() {
   std::printf("expected shape: murphy wins recall@5 by a wide margin; sage=0 "
               "(true root cause outside its call-tree model); murphy "
               "relaxed-recall ~1.0\n");
+  murphy::bench::write_bench_json("fig5_interference");
   return 0;
 }

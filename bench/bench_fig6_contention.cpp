@@ -89,5 +89,6 @@ int main() {
 
   std::printf("expected shape: murphy >= sage on top-1 and top-5; both far "
               "above netmedic/explainit\n");
+  murphy::bench::write_bench_json("fig6_contention");
   return 0;
 }

@@ -139,5 +139,6 @@ int main() {
   std::printf("expected shape: offline training FAR below fresh-data "
               "training (paper: 15%% vs 90%%); recall grows modestly with "
               "ntrain; no-prior-incidents remains usable (paper: 78%%)\n");
+  murphy::bench::write_bench_json("fig7_microbench");
   return 0;
 }

@@ -103,5 +103,6 @@ int main() {
   std::printf("%s\n", eval::cdf_chart(cdf_series, copts).c_str());
   std::printf("expected shape: ridge's CDF dominates (lowest quantiles); the "
               "neural network trails on few-hundred-point training sets\n");
+  murphy::bench::write_bench_json("fig8a_models");
   return 0;
 }

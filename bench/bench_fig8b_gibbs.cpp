@@ -196,5 +196,6 @@ int main() {
   std::printf("expected shape: correctly-predicted count increases with W "
               "and saturates near W=4 (cyclic effects are real and Gibbs "
               "re-visits propagate them)\n");
+  murphy::bench::write_bench_json("fig8b_gibbs");
   return 0;
 }

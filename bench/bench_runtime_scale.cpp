@@ -4,6 +4,7 @@
 // growing relationship-graph sizes.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/core/factor_model.h"
 #include "src/core/metric_space.h"
 #include "src/core/murphy.h"
@@ -128,6 +129,48 @@ void BM_EndToEndDiagnosis(benchmark::State& state) {
   }
 }
 
+// Observability overhead on the same end-to-end diagnosis. Modes:
+//   0 = null sink: no tracer/metrics attached (spans still read the clock
+//       for PhaseTimings but record nothing);
+//   1 = metrics only;
+//   2 = fully enabled: tracer + metrics + per-candidate audit records.
+// The compiled-out point needs a -DMURPHY_OBS_COMPILED_OUT=ON build of this
+// same binary; mode 0 of that build is the "compiled out" row.
+void BM_TracingOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const auto topo = make_env(6, 168);
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 100;
+  mopts.num_threads = 1;
+  if (mode >= 1) mopts.obs.metrics = &registry;
+  if (mode >= 2) {
+    mopts.obs.tracer = &tracer;
+    mopts.obs.collect_audit = true;
+  }
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &topo.db;
+  req.symptom_entity = topo.vms[0];
+  req.symptom_metric = "cpu_util";
+  req.now = 167;
+  req.train_begin = 0;
+  req.train_end = 168;
+  std::size_t spans = 0;
+  for (auto _ : state) {
+    auto result = murphy.diagnose(req);
+    benchmark::DoNotOptimize(result);
+    state.PauseTiming();
+    spans = tracer.events().size();
+    tracer.clear();
+    registry.reset();
+    state.ResumeTiming();
+  }
+  state.counters["mode"] = static_cast<double>(mode);
+  state.counters["spans_per_run"] = static_cast<double>(spans);
+}
+
 }  // namespace
 
 // Training cost ~ (N+M) * T: sweep graph size, history length, and threads
@@ -162,4 +205,20 @@ BENCHMARK(BM_EndToEndDiagnosis)
     ->Args({12, 0})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Observability overhead sweep (EXPERIMENTS.md records the measured rows).
+BENCHMARK(BM_TracingOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// BENCHMARK_MAIN(), plus the machine-readable metrics dump every other
+// bench binary emits (satellite: BENCH_<name>.json).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  murphy::bench::write_bench_json("runtime_scale");
+  return 0;
+}

@@ -102,5 +102,6 @@ int main() {
               "multi-hop causes; recall stable for alpha in [0.001, 0.1]; "
               "slack>=1 required when siblings share the signal; moderate "
               "ridge regularization beats near-zero (collinearity)\n");
+  murphy::bench::write_bench_json("sensitivity_ablations");
   return 0;
 }

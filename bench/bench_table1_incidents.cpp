@@ -93,5 +93,6 @@ int main() {
   std::printf("expected shape: murphy's average FPs several-fold lower than "
               "netmedic/explainit at comparable recall (paper: 4.7x / 6.6x); "
               "schemes' recall within a similar band (paper: 0.53-0.56)\n");
+  murphy::bench::write_bench_json("table1_incidents");
   return 0;
 }

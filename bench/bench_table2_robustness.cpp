@@ -71,5 +71,6 @@ int main() {
   std::printf("expected shape: murphy and sage fairly robust with murphy "
               "ahead; 'missing values' hurts sage more than murphy; "
               "netmedic/explainit far below both\n");
+  murphy::bench::write_bench_json("table2_robustness");
   return 0;
 }

@@ -21,6 +21,8 @@
 #include "src/baselines/netmedic.h"
 #include "src/baselines/sage.h"
 #include "src/core/murphy.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 
 namespace murphy::bench {
 
@@ -45,19 +47,49 @@ struct SchemeSet {
   }
 };
 
-// Constructs all four schemes with bench-appropriate sampling effort.
+// Constructs all four schemes with bench-appropriate sampling effort. All
+// four record engine internals into the process-global metrics registry so
+// write_bench_json can snapshot them when the binary exits.
 inline SchemeSet make_schemes(std::uint64_t seed = 1) {
   SchemeSet s;
   core::MurphyOptions mopts;
   mopts.sampler.num_samples = full_scale() ? 500 : 150;
   mopts.seed = seed;
+  mopts.obs.metrics = &obs::global_metrics();
   s.murphy = std::make_unique<core::MurphyDiagnoser>(mopts);
   baselines::SageOptions sopts;
   sopts.seed = seed;
+  sopts.obs.metrics = &obs::global_metrics();
   s.sage = std::make_unique<baselines::Sage>(sopts);
-  s.netmedic = std::make_unique<baselines::NetMedic>();
-  s.explainit = std::make_unique<baselines::ExplainIt>();
+  baselines::NetMedicOptions nopts;
+  nopts.obs.metrics = &obs::global_metrics();
+  s.netmedic = std::make_unique<baselines::NetMedic>(nopts);
+  baselines::ExplainItOptions eopts;
+  eopts.obs.metrics = &obs::global_metrics();
+  s.explainit = std::make_unique<baselines::ExplainIt>(eopts);
   return s;
+}
+
+// Dumps the global metrics registry (engine internals plus the phase.*_ms
+// timing histograms) as BENCH_<name>.json next to the binary's cwd, so runs
+// are machine-readable in addition to the stdout tables.
+inline void write_bench_json(const char* name) {
+  const std::string path = std::string("BENCH_") + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string out = "{\"bench\":";
+  obs::json_append_escaped(out, name);
+  out += ",\"scale\":\"";
+  out += full_scale() ? "full" : "quick";
+  out += "\",\"metrics\":";
+  out += obs::global_metrics().to_json();
+  out += "}\n";
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\n[metrics written to %s]\n", path.c_str());
 }
 
 inline void print_header(const char* experiment, const char* paper_summary) {

@@ -14,6 +14,8 @@ ExplainIt::ExplainIt(ExplainItOptions opts) : opts_(opts) {}
 core::DiagnosisResult ExplainIt::diagnose(
     const core::DiagnosisRequest& request) {
   core::DiagnosisResult result;
+  obs::Span diag_span(opts_.obs.tracer, "explainit_diagnose");
+  if (diag_span.enabled()) diag_span.arg("symptom_metric", request.symptom_metric);
   const telemetry::MonitoringDb& db = *request.db;
 
   const std::vector<EntityId> seeds{request.symptom_entity};
@@ -70,6 +72,12 @@ core::DiagnosisResult ExplainIt::diagnose(
               return a.entity < b.entity;
             });
   result.causes = std::move(ranked);
+  if (opts_.obs.metrics != nullptr) {
+    opts_.obs.metrics->counter("explainit.candidates_scored")
+        ->add(candidates.size());
+    opts_.obs.metrics->counter("explainit.causes_reported")
+        ->add(result.causes.size());
+  }
   return result;
 }
 

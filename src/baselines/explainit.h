@@ -7,6 +7,7 @@
 #pragma once
 
 #include "src/core/diagnosis.h"
+#include "src/obs/hooks.h"
 
 namespace murphy::baselines {
 
@@ -20,6 +21,8 @@ struct ExplainItOptions {
   // Share Murphy's pruned candidate search space (the paper grants this to
   // all reference schemes; it improved their accuracy).
   bool use_pruned_search_space = true;
+  // Optional observability hooks (span per diagnosis + candidate counters).
+  obs::ObsHooks obs;
 };
 
 class ExplainIt final : public core::Diagnoser {

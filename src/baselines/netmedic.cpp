@@ -17,6 +17,8 @@ NetMedic::NetMedic(NetMedicOptions opts) : opts_(opts) {}
 core::DiagnosisResult NetMedic::diagnose(
     const core::DiagnosisRequest& request) {
   core::DiagnosisResult result;
+  obs::Span diag_span(opts_.obs.tracer, "netmedic_diagnose");
+  if (diag_span.enabled()) diag_span.arg("symptom_metric", request.symptom_metric);
   const telemetry::MonitoringDb& db = *request.db;
 
   const std::vector<EntityId> seeds{request.symptom_entity};
@@ -202,6 +204,12 @@ core::DiagnosisResult NetMedic::diagnose(
               return a.entity < b.entity;
             });
   result.causes = std::move(ranked);
+  if (opts_.obs.metrics != nullptr) {
+    opts_.obs.metrics->counter("netmedic.candidates_scored")
+        ->add(candidates.size());
+    opts_.obs.metrics->counter("netmedic.causes_reported")
+        ->add(result.causes.size());
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "src/core/diagnosis.h"
+#include "src/obs/hooks.h"
 
 namespace murphy::baselines {
 
@@ -30,6 +31,9 @@ struct NetMedicOptions {
   bool use_state_similarity = true;
   // Number of most-similar historical slices considered per edge.
   std::size_t similar_slices = 10;
+  // Optional observability hooks: a span per diagnosis plus candidate
+  // counters, comparable with Murphy's own instrumentation.
+  obs::ObsHooks obs;
 };
 
 class NetMedic final : public core::Diagnoser {

@@ -65,6 +65,8 @@ Sage::Sage(SageOptions opts) : opts_(opts) {}
 
 core::DiagnosisResult Sage::diagnose(const core::DiagnosisRequest& request) {
   core::DiagnosisResult result;
+  obs::Span diag_span(opts_.obs.tracer, "sage_diagnose");
+  if (diag_span.enabled()) diag_span.arg("symptom_metric", request.symptom_metric);
   const telemetry::MonitoringDb& db = *request.db;
 
   bool saw_undirected_call = false;
@@ -227,6 +229,12 @@ core::DiagnosisResult Sage::diagnose(const core::DiagnosisRequest& request) {
               return a.entity < b.entity;
             });
   result.causes = std::move(ranked);
+  if (opts_.obs.metrics != nullptr) {
+    opts_.obs.metrics->counter("sage.candidates_replayed")
+        ->add(model.size() - 1);
+    opts_.obs.metrics->counter("sage.causes_reported")
+        ->add(result.causes.size());
+  }
   return result;
 }
 

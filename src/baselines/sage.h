@@ -20,6 +20,7 @@
 #pragma once
 
 #include "src/core/diagnosis.h"
+#include "src/obs/hooks.h"
 #include "src/stats/predictor.h"
 
 namespace murphy::baselines {
@@ -31,6 +32,8 @@ struct SageOptions {
   // fraction of the symptom's deviation from normal.
   double restoration_threshold = 0.2;
   std::uint64_t seed = 7;
+  // Optional observability hooks (span per diagnosis + candidate counters).
+  obs::ObsHooks obs;
 };
 
 class Sage final : public core::Diagnoser {

@@ -54,6 +54,16 @@ BatchResult BatchDiagnoser::diagnose_symptoms(
   result.symptoms = std::move(symptoms);
   result.per_symptom.resize(result.symptoms.size());
 
+  const obs::ObsHooks& hooks = opts_.murphy.obs;
+  obs::Span batch_span(hooks.tracer, "batch_diagnose");
+  if (batch_span.enabled())
+    batch_span.arg("symptoms",
+                   static_cast<std::uint64_t>(result.symptoms.size()));
+  const std::uint64_t batch_span_id = batch_span.id();
+  if (hooks.metrics != nullptr)
+    hooks.metrics->counter("batch.symptoms_diagnosed")
+        ->add(result.symptoms.size());
+
   // Symptoms parallelize at the outer level; when they do, the inner
   // per-candidate parallelism is switched off to avoid oversubscription.
   // Either split produces the same bits (determinism is per-diagnosis).
@@ -63,6 +73,13 @@ BatchResult BatchDiagnoser::diagnose_symptoms(
     inner.num_threads = 1;
   parallel_for(
       opts_.murphy.num_threads, result.symptoms.size(), [&](std::size_t i) {
+        // Explicit parent + symptom index as stream: the nested diagnosis
+        // spans chain under this one on whatever thread runs it, so the
+        // trace is thread-count invariant.
+        obs::Span symptom_span(hooks.tracer, "diagnose_symptom", i,
+                               batch_span_id);
+        if (symptom_span.enabled())
+          symptom_span.arg("metric", result.symptoms[i].metric);
         MurphyDiagnoser murphy(inner);
         DiagnosisRequest request;
         request.db = &db;
@@ -74,8 +91,10 @@ BatchResult BatchDiagnoser::diagnose_symptoms(
         result.per_symptom[i] = murphy.diagnose(request);
       });
 
+  obs::Span merge_span(hooks.tracer, "merge_rankings", 0, batch_span_id);
   result.merged = fuse_reciprocal_rank(result.symptoms, result.per_symptom,
                                        opts_.per_symptom_top_k);
+  merge_span.finish();
   return result;
 }
 

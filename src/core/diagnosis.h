@@ -11,6 +11,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/time_axis.h"
+#include "src/obs/audit.h"
 #include "src/telemetry/monitoring_db.h"
 
 namespace murphy::core {
@@ -41,8 +42,10 @@ struct RankedRootCause {
 
 // Per-phase wall-clock timings of one diagnosis, in milliseconds. Murphy
 // fills these (baselines leave zeros) so benches and tests can assert where
-// time goes instead of guessing from end-to-end numbers. Timings are the one
-// part of a DiagnosisResult that is NOT deterministic.
+// time goes instead of guessing from end-to-end numbers. Since the
+// observability layer landed they are derived from the engine's phase spans
+// (obs::Span::finish), one source of truth shared with the trace export.
+// Timings are the one part of a DiagnosisResult that is NOT deterministic.
 struct PhaseTimings {
   double graph_ms = 0.0;      // relationship-graph build + metric space
   double training_ms = 0.0;   // online factor training
@@ -68,6 +71,11 @@ struct DiagnosisResult {
 
   // Where the wall-clock went (see PhaseTimings).
   PhaseTimings timings;
+
+  // Per-candidate evidence behind the ranking (Murphy only, and only when
+  // MurphyOptions::obs.collect_audit is set; empty otherwise). Everything in
+  // it is deterministic — see src/obs/audit.h.
+  obs::DiagnosisAudit audit;
 
   // Rank (1-based) of `entity`, or 0 when absent.
   [[nodiscard]] std::size_t rank_of(EntityId entity) const {

@@ -52,11 +52,25 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
   for (VarIndex v = 0; v < space.size(); ++v)
     hist[v] = space.history(db, v, train_begin, train_end);
 
+  // Observability: resolve instruments once, outside the hot loop (the
+  // registry lookup takes a mutex; the updates below are lock-free atomics).
+  obs::Counter* c_fits = nullptr;
+  obs::Counter* c_pruned = nullptr;
+  obs::Histogram* h_features = nullptr;
+  if (opts.metrics != nullptr) {
+    c_fits = opts.metrics->counter("train.factors_trained");
+    c_pruned = opts.metrics->counter("train.features_pruned_one_in_ten");
+    h_features = opts.metrics->histogram(
+        "train.features_per_factor",
+        {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  }
+
   // One ridge fit per variable, all independent: parallelize over targets.
   // Each target's predictor seed is derived from (opts.seed, target) alone,
   // so the trained set is bitwise identical at any thread count.
   parallel_for(opts.num_threads, space.size(), [&](std::size_t t) {
     const VarIndex target = t;
+    obs::Span fit_span(opts.tracer, "fit_factor", target, opts.trace_parent);
     const auto& tvar = space.var(target);
     const auto& y = hist[target];
     const double mu = stats::mean(y);
@@ -79,7 +93,10 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
       if (a.first != b.first) return a.first > b.first;
       return a.second < b.second;  // deterministic tiebreak
     });
+    const std::size_t considered = scored.size();
     if (scored.size() > opts.top_b) scored.resize(opts.top_b);
+    if (c_pruned != nullptr && considered > scored.size())
+      c_pruned->add(considered - scored.size());
 
     std::vector<VarIndex> features;
     features.reserve(scored.size());
@@ -119,11 +136,21 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
       mase_err = stats::mase(preds, y);
     }
 
+    const std::size_t n_features = features.size();
     auto cond = std::make_unique<MetricConditional>(
         target, std::move(features), std::move(model), mu, sigma);
     cond->set_training_mase(mase_err);
     cond->set_robust(stats::median(y), stats::mad_sigma(y));
     conditionals_[target] = std::move(cond);
+
+    if (c_fits != nullptr) c_fits->add(1);
+    if (h_features != nullptr)
+      h_features->observe(static_cast<double>(n_features));
+    if (fit_span.enabled()) {
+      fit_span.arg("features", static_cast<std::uint64_t>(n_features));
+      fit_span.arg("rows", static_cast<std::uint64_t>(n_rows));
+      fit_span.arg("mase", mase_err);
+    }
   });
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/metric_space.h"
+#include "src/obs/hooks.h"
 #include "src/stats/predictor.h"
 
 namespace murphy::core {
@@ -90,6 +91,13 @@ struct FactorTrainingOptions {
   // predictor seeds are derived per variable via mix_seed, not drawn from a
   // shared sequential stream.
   std::size_t num_threads = 1;
+  // Optional observability sinks (null = off). `trace_parent` is the stable
+  // span id the per-variable fit spans attach to — fits run on worker
+  // threads whose span stacks are empty, so the parent must be explicit for
+  // the trace to be identical at every thread count.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::uint64_t trace_parent = 0;
 };
 
 // The MRF: one MetricConditional per variable, trained online.

@@ -16,6 +16,7 @@
 #include "src/core/anomaly.h"
 #include "src/core/diagnosis.h"
 #include "src/core/sampler.h"
+#include "src/obs/hooks.h"
 
 namespace murphy::core {
 
@@ -34,6 +35,13 @@ struct MurphyOptions {
   // its own RNG stream derived via mix_seed, never from a shared sequential
   // one. See DESIGN.md "Execution model".
   std::size_t num_threads = 0;
+  // Observability sinks (DESIGN.md "Observability"): an optional span tracer
+  // (flame-chart spans for every phase, per-factor fit and per-candidate
+  // evaluation), an optional metrics registry (engine counters/histograms),
+  // and the audit-trail switch that fills DiagnosisResult::audit. All null/
+  // off by default — the null configuration adds only a handful of clock
+  // reads per diagnosis.
+  obs::ObsHooks obs;
 };
 
 // Start of the "recent" configuration-change window reported alongside a

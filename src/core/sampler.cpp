@@ -41,6 +41,9 @@ CounterfactualVerdict CounterfactualSampler::evaluate(
 
   const auto path = graph_.shortest_path_subgraph(a, d, opts_.path_slack);
   if (path.empty()) return verdict;  // A cannot influence D
+  verdict.path_len = path.size();
+  verdict.node_resamples =
+      2 * opts_.num_samples * opts_.gibbs_rounds * (path.size() - 1);
 
   const MetricConditional& a_cond = factors_.conditional(a_var);
   const double a_now = state[a_var];

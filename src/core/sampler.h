@@ -39,6 +39,10 @@ struct CounterfactualVerdict {
   double p_value = 1.0;
   double mean_factual = 0.0;        // mean of d2
   double mean_counterfactual = 0.0; // mean of d1
+  // Work accounting for the observability layer (deterministic: a function
+  // of the graph and options, not of scheduling).
+  std::size_t path_len = 0;         // resampled subgraph size, incl. endpoints
+  std::size_t node_resamples = 0;   // resample_node calls across both sides
 };
 
 class CounterfactualSampler {

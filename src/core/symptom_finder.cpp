@@ -18,9 +18,11 @@ std::vector<Symptom> find_symptoms(const telemetry::MonitoringDb& db,
                                    TimeIndex now,
                                    const SymptomFinderOptions& opts) {
   std::vector<Symptom> out;
+  std::size_t scanned = 0;
   for (const EntityId entity : entities) {
     if (!db.has_entity(entity)) continue;
     for (const MetricKindId kind : db.metrics().kinds_of(entity)) {
+      ++scanned;
       const auto* ts = db.metrics().find(entity, kind);
       if (ts == nullptr || now >= ts->size()) continue;
       const double value = ts->value_or(now, 0.0);
@@ -53,6 +55,10 @@ std::vector<Symptom> find_symptoms(const telemetry::MonitoringDb& db,
     return a.metric < b.metric;
   });
   if (out.size() > opts.max_symptoms) out.resize(opts.max_symptoms);
+  if (opts.metrics != nullptr) {
+    opts.metrics->counter("finder.metrics_scanned")->add(scanned);
+    opts.metrics->counter("finder.symptoms_found")->add(out.size());
+  }
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include "src/common/ids.h"
 #include "src/common/time_axis.h"
 #include "src/core/thresholds.h"
+#include "src/obs/metrics.h"
 #include "src/telemetry/monitoring_db.h"
 
 namespace murphy::core {
@@ -34,6 +35,8 @@ struct SymptomFinderOptions {
   // History window used for the robust baseline.
   TimeIndex history_begin = 0;
   std::size_t max_symptoms = 10;
+  // Optional observability sink: counts metrics scanned / symptoms found.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Scans all members of `app` at time `now`; returns symptoms ordered most

@@ -1,0 +1,71 @@
+// Structured diagnosis audit trail.
+//
+// Murphy's output is a ranked list; its *defense* is the per-candidate
+// evidence behind every rank. The audit trail captures that evidence — one
+// record per evaluated candidate with its anomaly-score components, the
+// counterfactual verdict (p-value, factual vs counterfactual symptom means)
+// and its path through the relationship graph — serialized as JSONL so a
+// ranking can be replayed, diffed and explained long after the run. Every
+// field is a deterministic function of the diagnosis inputs, so audit files
+// are byte-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace murphy::obs {
+
+// The evidence for one candidate root cause.
+struct CandidateAudit {
+  EntityId entity;
+  std::string entity_name;
+  std::string driver_metric;   // the candidate's most anomalous metric
+  double anomaly_z = 0.0;      // robust z of the driver metric
+  double rank_score = 0.0;     // z scaled by relative excursion (ordering key)
+  bool self_symptom = false;   // candidate == symptom entity
+  bool evaluated = false;      // counterfactual sampler actually ran
+  bool accepted = false;       // made the ranked list
+  double p_value = 1.0;        // one-sided Welch t-test
+  double mean_factual = 0.0;
+  double mean_counterfactual = 0.0;
+  // mean_counterfactual - mean_factual: how far nudging the candidate toward
+  // normal moved the symptom metric.
+  double counterfactual_delta = 0.0;
+  std::uint64_t path_len = 0;  // resampled shortest-path-subgraph size
+  std::uint64_t rank = 0;      // 1-based position in the result, 0 = absent
+  // Explanation path root -> symptom (entity names), accepted candidates
+  // only.
+  std::vector<std::string> path;
+};
+
+// One full diagnosis: header context plus all candidate records, sorted by
+// entity id (a stable order independent of evaluation scheduling).
+struct DiagnosisAudit {
+  std::string scheme;
+  std::string symptom_entity;
+  std::string symptom_metric;
+  std::uint64_t now = 0;
+  std::uint64_t graph_nodes = 0;
+  std::uint64_t variables = 0;
+  std::vector<CandidateAudit> candidates;
+
+  [[nodiscard]] bool empty() const {
+    return scheme.empty() && candidates.empty();
+  }
+};
+
+// JSONL rendering: one {"type":"diagnosis",...} header line followed by one
+// {"type":"candidate",...} line per record. Deterministic (numbers printed
+// with round-trip precision, fixed key order).
+[[nodiscard]] std::string to_jsonl(const DiagnosisAudit& audit);
+
+// Parses to_jsonl output back (used by tests and offline tooling). Expects
+// exactly one header line; candidate lines follow in file order.
+[[nodiscard]] bool parse_jsonl(std::string_view text, DiagnosisAudit& out,
+                               std::string* error = nullptr);
+
+}  // namespace murphy::obs

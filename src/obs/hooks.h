@@ -1,0 +1,25 @@
+// The observability hook bundle threaded through engine options.
+//
+// Every sink is optional and null by default: a default-constructed
+// ObsHooks is the null configuration and costs nearly nothing (one pointer
+// test per instrumentation site). Attach a Tracer for flame-chart spans, a
+// MetricsRegistry for counters/histograms, and set collect_audit to have
+// MurphyDiagnoser fill DiagnosisResult::audit.
+#pragma once
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace murphy::obs {
+
+struct ObsHooks {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  bool collect_audit = false;
+
+  [[nodiscard]] bool any() const {
+    return tracer != nullptr || metrics != nullptr || collect_audit;
+  }
+};
+
+}  // namespace murphy::obs

@@ -1,0 +1,54 @@
+// Minimal JSON utilities for the observability layer.
+//
+// The tracer, metrics registry and audit trail all emit JSON (Chrome
+// trace-event files, metrics snapshots, JSONL audit records), and the test
+// suite must verify those emissions parse back. Rather than pull in a JSON
+// dependency, this header provides the two small pieces we need: an escaping
+// writer with *deterministic* number formatting (every double is printed
+// with "%.17g", enough digits to round-trip bit-exactly, so identical inputs
+// yield byte-identical output on every platform/thread-count), and a tiny
+// recursive-descent parser sufficient for our own documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace murphy::obs {
+
+// Appends `s` to `out` as a quoted JSON string (escapes quotes, backslashes
+// and control characters).
+void json_append_escaped(std::string& out, std::string_view s);
+
+// Formats a double with enough precision to round-trip ("%.17g"), emitting
+// "null" for non-finite values (JSON has no NaN/Inf).
+[[nodiscard]] std::string json_number(double v);
+[[nodiscard]] std::string json_number(std::uint64_t v);
+[[nodiscard]] std::string json_number(std::int64_t v);
+
+// A parsed JSON value. Object keys are kept in a sorted map — fine for
+// verification, not a general-purpose DOM.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+// Parses one JSON document. Returns false (and sets *error when non-null)
+// on malformed input or trailing garbage.
+[[nodiscard]] bool json_parse(std::string_view text, JsonValue& out,
+                              std::string* error = nullptr);
+
+}  // namespace murphy::obs

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/stats/summary.h"
 
 namespace murphy::stats {
@@ -17,6 +18,16 @@ void RidgeRegression::fit_weighted(const Matrix& x, const Vector& y,
                                    const Vector& weights) {
   const std::size_t n = x.rows();
   const std::size_t p = x.cols();
+#ifndef MURPHY_OBS_DISABLED
+  // Hot-path accounting in the process-global registry; the instrument
+  // pointers are resolved once, updates are single relaxed atomics.
+  static obs::Counter* const c_fits =
+      obs::global_metrics().counter("stats.ridge_fits");
+  static obs::Counter* const c_cells =
+      obs::global_metrics().counter("stats.ridge_cells");
+  c_fits->add(1);
+  c_cells->add(static_cast<std::uint64_t>(n) * p);
+#endif
   assert(y.size() == n && weights.size() == n);
   assert(n >= 1);
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/stats/summary.h"
 
 namespace murphy::stats {
@@ -82,6 +83,11 @@ double student_t_cdf(double t, double dof) {
 
 TTestResult welch_t_test(std::span<const double> x, std::span<const double> y) {
   assert(x.size() >= 2 && y.size() >= 2);
+#ifndef MURPHY_OBS_DISABLED
+  static obs::Counter* const c_tests =
+      obs::global_metrics().counter("stats.welch_ttests");
+  c_tests->add(1);
+#endif
   const double nx = static_cast<double>(x.size());
   const double ny = static_cast<double>(y.size());
   const double mx = mean(x);

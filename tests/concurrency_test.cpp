@@ -252,5 +252,110 @@ TEST(Timings, DiagnosisReportsWhereTimeGoes) {
             result.timings.training_ms + result.timings.inference_ms);
 }
 
+// ---------- instrumented-path determinism ----------------------------------
+
+// A fully instrumented diagnosis: fresh tracer + registry per run, audit
+// collection on. Returns the pieces the determinism contract covers.
+struct InstrumentedRun {
+  core::DiagnosisResult result;
+  std::string trace_json;   // deterministic export mode
+  std::string audit_jsonl;
+  obs::MetricsRegistry::Snapshot metrics;
+};
+
+InstrumentedRun diagnose_chain_instrumented(const ChainEnv& env,
+                                            std::size_t num_threads) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 120;
+  mopts.num_threads = num_threads;
+  mopts.obs.tracer = &tracer;
+  mopts.obs.metrics = &registry;
+  mopts.obs.collect_audit = true;
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &env.db;
+  req.symptom_entity = env.d;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  InstrumentedRun run;
+  run.result = murphy.diagnose(req);
+  obs::TraceExportOptions topts;
+  topts.deterministic = true;
+  run.trace_json = tracer.to_chrome_json(topts);
+  run.audit_jsonl = obs::to_jsonl(run.result.audit);
+  run.metrics = registry.snapshot();
+  return run;
+}
+
+TEST(Determinism, InstrumentedDiagnosisBitwiseIdenticalAcrossThreadCounts) {
+  const auto env = make_chain_env();
+  const auto serial = diagnose_chain_instrumented(env, 1);
+  ASSERT_FALSE(serial.result.causes.empty());
+  ASSERT_FALSE(serial.result.audit.empty());
+  ASSERT_FALSE(serial.trace_json.empty());
+  // Instrumentation must not change the diagnosis itself.
+  expect_bitwise_equal(diagnose_chain(env, 1), serial.result);
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    const auto parallel = diagnose_chain_instrumented(env, threads);
+    expect_bitwise_equal(serial.result, parallel.result);
+    // The deterministic trace export and the audit JSONL are byte-identical.
+    EXPECT_EQ(serial.trace_json, parallel.trace_json);
+    EXPECT_EQ(serial.audit_jsonl, parallel.audit_jsonl);
+    // Counter totals, histogram counts and bucket vectors are exact integer
+    // functions of the work done; gauges are set from serial sections.
+    // Two exemptions: histogram sums are float accumulations in scheduling
+    // order, and the phase.*_ms histograms observe *wall-clock* durations —
+    // both genuinely vary across runs and are NOT compared.
+    ASSERT_EQ(serial.metrics.entries.size(), parallel.metrics.entries.size());
+    for (std::size_t i = 0; i < serial.metrics.entries.size(); ++i) {
+      const auto& a = serial.metrics.entries[i];
+      const auto& b = parallel.metrics.entries[i];
+      SCOPED_TRACE(a.name);
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.kind, b.kind);
+      if (a.name.rfind("phase.", 0) == 0) {
+        EXPECT_EQ(a.value, b.value);  // observation *count* still matches
+        continue;
+      }
+      EXPECT_EQ(a.value, b.value);
+      EXPECT_EQ(a.bucket_counts, b.bucket_counts);
+    }
+  }
+}
+
+TEST(Determinism, AuditRecordsMatchRankedCauses) {
+  const auto env = make_chain_env();
+  const auto run = diagnose_chain_instrumented(env, 2);
+  const auto& audit = run.result.audit;
+  EXPECT_EQ(audit.scheme, "murphy");
+  EXPECT_EQ(audit.symptom_metric, "cpu_util");
+  // Every ranked cause has exactly one accepted audit record at its rank.
+  for (std::size_t r = 0; r < run.result.causes.size(); ++r) {
+    const EntityId entity = run.result.causes[r].entity;
+    bool found = false;
+    for (const auto& c : audit.candidates) {
+      if (c.entity != entity) continue;
+      found = true;
+      EXPECT_TRUE(c.accepted);
+      EXPECT_EQ(c.rank, r + 1);
+      EXPECT_FALSE(c.path.empty());
+    }
+    EXPECT_TRUE(found) << "rank " << r;
+  }
+  // Candidate records are sorted by entity id.
+  for (std::size_t i = 1; i < audit.candidates.size(); ++i)
+    EXPECT_LT(audit.candidates[i - 1].entity, audit.candidates[i].entity);
+  // And the JSONL rendering parses back to the same number of records.
+  obs::DiagnosisAudit parsed;
+  std::string error;
+  ASSERT_TRUE(obs::parse_jsonl(run.audit_jsonl, parsed, &error)) << error;
+  EXPECT_EQ(parsed.candidates.size(), audit.candidates.size());
+}
+
 }  // namespace
 }  // namespace murphy
