@@ -212,12 +212,33 @@ BENCHMARK(BM_TracingOverhead)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+namespace {
+
+// Mirrors each run's adjusted real time into the global metrics registry so
+// write_bench_json emits a self-contained, provenance-stamped baseline —
+// BENCH_runtime_scale.json carries the timings, not just engine counters.
+class MetricsMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::global_metrics()
+          .gauge("bench." + run.benchmark_name() + "_ms")
+          ->set(run.GetAdjustedRealTime());
+    }
+  }
+};
+
+}  // namespace
+
 // BENCHMARK_MAIN(), plus the machine-readable metrics dump every other
 // bench binary emits (satellite: BENCH_<name>.json).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  MetricsMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   murphy::bench::write_bench_json("runtime_scale");
   return 0;

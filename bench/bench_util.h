@@ -20,6 +20,7 @@
 #include "src/baselines/explainit.h"
 #include "src/baselines/netmedic.h"
 #include "src/baselines/sage.h"
+#include "src/common/thread_pool.h"
 #include "src/core/murphy.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
@@ -70,9 +71,21 @@ inline SchemeSet make_schemes(std::uint64_t seed = 1) {
   return s;
 }
 
+// Provenance stamped into every snapshot (configure-time capture; see
+// bench/CMakeLists.txt).
+#ifndef MURPHY_GIT_SHA
+#define MURPHY_GIT_SHA "unknown"
+#endif
+#ifndef MURPHY_BUILD_FLAGS
+#define MURPHY_BUILD_FLAGS "unknown"
+#endif
+
 // Dumps the global metrics registry (engine internals plus the phase.*_ms
 // timing histograms) as BENCH_<name>.json next to the binary's cwd, so runs
-// are machine-readable in addition to the stdout tables.
+// are machine-readable in addition to the stdout tables. Each snapshot is
+// stamped with the measurement's provenance: git SHA, build flags, and the
+// thread count the process would resolve for parallel phases — numbers
+// without that context can't be compared across machines or commits.
 inline void write_bench_json(const char* name) {
   const std::string path = std::string("BENCH_") + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -84,7 +97,12 @@ inline void write_bench_json(const char* name) {
   obs::json_append_escaped(out, name);
   out += ",\"scale\":\"";
   out += full_scale() ? "full" : "quick";
-  out += "\",\"metrics\":";
+  out += "\",\"git_sha\":\"" MURPHY_GIT_SHA "\"";
+  out += ",\"build_flags\":";
+  obs::json_append_escaped(out, MURPHY_BUILD_FLAGS);
+  out += ",\"num_threads\":";
+  out += std::to_string(resolve_num_threads(0));
+  out += ",\"metrics\":";
   out += obs::global_metrics().to_json();
   out += "}\n";
   std::fwrite(out.data(), 1, out.size(), f);

@@ -4,13 +4,6 @@
 #include <cmath>
 
 namespace murphy {
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
@@ -30,25 +23,6 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 top bits -> double in [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
 std::uint64_t Rng::below(std::uint64_t n) {
   assert(n > 0);
   // Rejection sampling to remove modulo bias.
@@ -59,34 +33,11 @@ std::uint64_t Rng::below(std::uint64_t n) {
   }
 }
 
-double Rng::normal() {
-  if (has_spare_) {
-    has_spare_ = false;
-    return spare_;
-  }
-  double u, v, s;
-  do {
-    u = uniform(-1.0, 1.0);
-    v = uniform(-1.0, 1.0);
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double m = std::sqrt(-2.0 * std::log(s) / s);
-  spare_ = v * m;
-  has_spare_ = true;
-  return u * m;
-}
-
-double Rng::normal(double mean, double stddev) {
-  return mean + stddev * normal();
-}
-
 double Rng::exponential(double rate) {
   assert(rate > 0.0);
   // uniform() can return 0; 1-u is in (0, 1].
   return -std::log(1.0 - uniform()) / rate;
 }
-
-bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::fork() { return Rng((*this)() ^ 0xD1B54A32D192ED03ULL); }
 

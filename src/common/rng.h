@@ -7,11 +7,23 @@
 // SplitMix64, which has far better statistical behaviour than
 // std::minstd_rand and, unlike std::mt19937, a guaranteed cross-platform
 // stream for a given seed.
+//
+// The generator step and the uniform/normal draws are defined inline: the
+// Gibbs sampler draws one normal per variable per round, and a cross-TU call
+// for every draw is measurable on that path. The polar method below is exact
+// IEEE arithmetic (no fast-math), so inlining cannot change the stream.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace murphy {
+
+namespace detail {
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
 
 // SplitMix64 step; used for seeding and as a cheap stateless mixer.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
@@ -33,22 +45,54 @@ class Rng {
   [[nodiscard]] static constexpr result_type min() { return 0; }
   [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
 
-  result_type operator()();
+  result_type operator()() {
+    const std::uint64_t result = detail::rotl64(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = detail::rotl64(s_[3], 45);
+    return result;
+  }
 
   // Uniform double in [0, 1).
-  [[nodiscard]] double uniform();
+  [[nodiscard]] double uniform() {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
   // Uniform double in [lo, hi).
-  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
   // Uniform integer in [0, n). Requires n > 0.
   [[nodiscard]] std::uint64_t below(std::uint64_t n);
   // Standard normal via Marsaglia polar method (cached spare).
-  [[nodiscard]] double normal();
+  [[nodiscard]] double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
   // Normal with the given mean and standard deviation.
-  [[nodiscard]] double normal(double mean, double stddev);
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
   // Exponential with the given rate (mean 1/rate). Requires rate > 0.
   [[nodiscard]] double exponential(double rate);
   // Bernoulli trial with probability p of true.
-  [[nodiscard]] bool chance(double p);
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
 
   // Derive an independent child generator; useful to give each simulated
   // entity its own stream so adding entities doesn't perturb others.

@@ -8,6 +8,7 @@
 // symptoms is a stronger suspect than one implicated once.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "src/core/murphy.h"
@@ -31,6 +32,14 @@ struct BatchOptions {
   SymptomFinderOptions finder;
   // Per-symptom candidates below this rank do not contribute to the merge.
   std::size_t per_symptom_top_k = 10;
+  // Cross-symptom training caches (window column moments + trained
+  // factors). Symptoms of one incident share most of their graph
+  // neighborhoods, so each shared factor trains once instead of once per
+  // symptom. Purely a work-saving measure: per-symptom and merged results
+  // are bitwise identical with the caches on or off. Caches invalidate
+  // automatically when the training window, the db's data version, or the
+  // training options change between calls.
+  bool share_training = true;
 };
 
 struct BatchResult {
@@ -62,6 +71,11 @@ class BatchDiagnoser {
 
  private:
   BatchOptions opts_;
+  // Persistent across calls: a repeat diagnosis over the same (db, window,
+  // options) generation reuses every factor. See diagnose_symptoms for the
+  // fingerprint that guards staleness.
+  std::unique_ptr<stats::WindowStats> window_stats_;
+  std::unique_ptr<FactorCache> factor_cache_;
 };
 
 }  // namespace murphy::core

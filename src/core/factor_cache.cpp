@@ -1,0 +1,57 @@
+#include "src/core/factor_cache.h"
+
+namespace murphy::core {
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void FactorCache::reset(std::uint64_t fingerprint) {
+  std::unique_lock lock(mu_);
+  if (fingerprint == fingerprint_ && !entries_.empty()) return;
+  entries_.clear();
+  fingerprint_ = fingerprint;
+}
+
+const CachedFactor& FactorCache::get_or_train(std::uint64_t key,
+                                              const Trainer& trainer,
+                                              bool* trained) {
+  Entry* entry = nullptr;
+  {
+    std::shared_lock lock(mu_);
+    if (const auto it = entries_.find(key); it != entries_.end())
+      entry = it->second.get();
+  }
+  if (entry == nullptr) {
+    std::unique_lock lock(mu_);
+    auto& slot = entries_[key];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  bool built = false;
+  std::call_once(entry->once, [&] {
+    entry->factor = trainer();
+    built = true;
+  });
+  (built ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  if (trained != nullptr) *trained = built;
+  return entry->factor;
+}
+
+std::uint64_t FactorCache::hits() const {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FactorCache::misses() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+std::size_t FactorCache::size() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace murphy::core

@@ -1,8 +1,10 @@
 #include "src/core/factor_model.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "src/common/thread_pool.h"
 #include "src/stats/correlation.h"
@@ -11,10 +13,10 @@
 
 namespace murphy::core {
 
-MetricConditional::MetricConditional(VarIndex target,
-                                     std::vector<VarIndex> features,
-                                     std::unique_ptr<stats::Predictor> model,
-                                     double hist_mean, double hist_sigma)
+MetricConditional::MetricConditional(
+    VarIndex target, std::vector<VarIndex> features,
+    std::shared_ptr<const stats::Predictor> model, double hist_mean,
+    double hist_sigma)
     : target_(target),
       features_(std::move(features)),
       model_(std::move(model)),
@@ -47,68 +49,106 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
   const std::size_t n_rows = train_end - train_begin;
   conditionals_.resize(space.size());
 
-  // Pre-fetch every variable's history once.
-  std::vector<std::vector<double>> hist(space.size());
-  for (VarIndex v = 0; v < space.size(); ++v)
-    hist[v] = space.history(db, v, train_begin, train_end);
+  // Per-variable window moments (mean, centered column, sum of squares):
+  // pulled from the shared cross-symptom cache when one is attached,
+  // materialized locally otherwise. Either way the feature-scoring loop
+  // below does one dot product per candidate pair instead of a three-pass
+  // mean/variance rescan.
+  std::vector<const stats::ColumnMoments*> col(space.size());
+  std::vector<stats::ColumnMoments> local;
+  if (opts.window_stats != nullptr) {
+    for (VarIndex v = 0; v < space.size(); ++v) {
+      const auto& var = space.var(v);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(var.entity.value()) << 32) |
+          var.kind.value();
+      col[v] = &opts.window_stats->get_or_build(key, [&] {
+        return space.history(db, v, train_begin, train_end);
+      });
+    }
+  } else {
+    local.resize(space.size());
+    for (VarIndex v = 0; v < space.size(); ++v) {
+      local[v] = stats::build_column_moments(
+          space.history(db, v, train_begin, train_end));
+      col[v] = &local[v];
+    }
+  }
 
   // Observability: resolve instruments once, outside the hot loop (the
   // registry lookup takes a mutex; the updates below are lock-free atomics).
   obs::Counter* c_fits = nullptr;
   obs::Counter* c_pruned = nullptr;
+  obs::Counter* c_corr_cells = nullptr;
+  obs::Counter* c_cache_hits = nullptr;
+  obs::Counter* c_cache_misses = nullptr;
   obs::Histogram* h_features = nullptr;
   if (opts.metrics != nullptr) {
     c_fits = opts.metrics->counter("train.factors_trained");
     c_pruned = opts.metrics->counter("train.features_pruned_one_in_ten");
+    c_corr_cells = opts.metrics->counter("train.corr_cells");
     h_features = opts.metrics->histogram(
         "train.features_per_factor",
         {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
   }
 
-  // One ridge fit per variable, all independent: parallelize over targets.
-  // Each target's predictor seed is derived from (opts.seed, target) alone,
-  // so the trained set is bitwise identical at any thread count.
-  parallel_for(opts.num_threads, space.size(), [&](std::size_t t) {
-    const VarIndex target = t;
-    obs::Span fit_span(opts.tracer, "fit_factor", target, opts.trace_parent);
+  // Trains the factor of one target variable from the cached column moments,
+  // in graph-independent (CachedFactor) form. Pure: everything it returns is
+  // a function of the candidate histories and options alone, which is what
+  // makes the result shareable across symptoms (see FactorCache).
+  auto train_target = [&](VarIndex target, obs::Tracer* tracer) {
+    obs::Span fit_span(tracer, "fit_factor", target, opts.trace_parent);
     const auto& tvar = space.var(target);
-    const auto& y = hist[target];
-    const double mu = stats::mean(y);
-    const double sigma = stats::stddev(y);
+    const stats::ColumnMoments& ty = *col[target];
+
+    CachedFactor cf;
+    cf.hist_mean = ty.mean;    // == stats::mean(y)
+    cf.hist_sigma = ty.sigma;  // == stats::stddev(y), bitwise (see WindowStats)
 
     // Candidate features: all metrics of in-neighbor nodes (the in_nbrs(v)
     // of the factor definition), plus the entity's OTHER own metrics, which
     // the paper's P_v(v | ...) treats jointly.
     std::vector<std::pair<double, VarIndex>> scored;
+    std::uint64_t corr_cells = 0;
     auto consider = [&](VarIndex f) {
       if (f == target) return;
-      const double c = std::abs(stats::pearson(hist[f], y));
+      const stats::ColumnMoments& fx = *col[f];
+      const double c = std::abs(stats::pearson_centered(
+          fx.centered, fx.sxx, ty.centered, ty.sxx));
+      corr_cells += n_rows;
       if (c > 0.05) scored.emplace_back(c, f);
     };
     for (const graph::NodeIndex nb : graph.in_neighbors(tvar.node))
       for (const VarIndex f : space.vars_of(nb)) consider(f);
     for (const VarIndex f : space.vars_of(tvar.node)) consider(f);
+    if (c_corr_cells != nullptr) c_corr_cells->add(corr_cells);
 
-    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
-      if (a.first != b.first) return a.first > b.first;
-      return a.second < b.second;  // deterministic tiebreak
-    });
-    const std::size_t considered = scored.size();
+    std::sort(scored.begin(), scored.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                // Graph-invariant tiebreak: equal |pearson| resolves on
+                // (entity, kind), never on VarIndex — a VarIndex order would
+                // depend on the graph's node numbering and break factor
+                // sharing across symptoms.
+                const auto& va = space.var(a.second);
+                const auto& vb = space.var(b.second);
+                if (va.entity != vb.entity) return va.entity < vb.entity;
+                return va.kind < vb.kind;
+              });
+    cf.considered = scored.size();
     if (scored.size() > opts.top_b) scored.resize(opts.top_b);
-    if (c_pruned != nullptr && considered > scored.size())
-      c_pruned->add(considered - scored.size());
 
     std::vector<VarIndex> features;
     features.reserve(scored.size());
     for (const auto& [c, f] : scored) features.push_back(f);
 
     std::unique_ptr<stats::Predictor> model;
-    double mase_err = 0.0;
     if (!features.empty()) {
+      const auto& y = ty.values;
       stats::Matrix x(n_rows, features.size());
       for (std::size_t r = 0; r < n_rows; ++r)
         for (std::size_t c = 0; c < features.size(); ++c)
-          x.at(r, c) = hist[features[c]][r];
+          x.at(r, c) = col[features[c]]->values[r];
       stats::PredictorOptions popts = opts.predictor;
       popts.seed = mix_seed(opts.seed, target);
       model = stats::make_predictor(opts.model, popts);
@@ -133,31 +173,171 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
           row[c] = x.at(r, c);
         preds[r] = model->predict(row);
       }
-      mase_err = stats::mase(preds, y);
+      cf.training_mase = stats::mase(preds, y);
     }
 
-    const std::size_t n_features = features.size();
-    auto cond = std::make_unique<MetricConditional>(
-        target, std::move(features), std::move(model), mu, sigma);
-    cond->set_training_mase(mase_err);
-    cond->set_robust(stats::median(y), stats::mad_sigma(y));
-    conditionals_[target] = std::move(cond);
+    cf.features.reserve(features.size());
+    for (const VarIndex f : features) {
+      const auto& fv = space.var(f);
+      cf.features.push_back(MetricRef{fv.entity, fv.kind});
+    }
+    cf.model = std::shared_ptr<const stats::Predictor>(std::move(model));
+    cf.robust_center = stats::median(ty.values);
+    cf.robust_sigma = stats::mad_sigma(ty.values);
 
     if (c_fits != nullptr) c_fits->add(1);
-    if (h_features != nullptr)
-      h_features->observe(static_cast<double>(n_features));
     if (fit_span.enabled()) {
-      fit_span.arg("features", static_cast<std::uint64_t>(n_features));
+      fit_span.arg("features",
+                   static_cast<std::uint64_t>(cf.features.size()));
       fit_span.arg("rows", static_cast<std::uint64_t>(n_rows));
-      fit_span.arg("mase", mase_err);
+      fit_span.arg("mase", cf.training_mase);
     }
+    return cf;
+  };
+
+  // Rebinds a (possibly cache-shared) factor to this graph's VarIndex space.
+  auto bind_factor = [&](VarIndex target, const CachedFactor& cf) {
+    std::vector<VarIndex> features;
+    features.reserve(cf.features.size());
+    for (const MetricRef& m : cf.features) {
+      const auto f = space.find(m.entity, m.kind);
+      assert(f.has_value());  // cache key fixes the candidate entity set
+      features.push_back(*f);
+    }
+    auto cond = std::make_unique<MetricConditional>(
+        target, std::move(features), cf.model, cf.hist_mean, cf.hist_sigma);
+    cond->set_training_mase(cf.training_mase);
+    cond->set_robust(cf.robust_center, cf.robust_sigma);
+
+    if (c_pruned != nullptr && cf.considered > cf.features.size())
+      c_pruned->add(cf.considered - cf.features.size());
+    if (h_features != nullptr)
+      h_features->observe(static_cast<double>(cf.features.size()));
+    conditionals_[target] = std::move(cond);
+  };
+
+  // The factor cache only engages for ridge: its closed-form fit ignores
+  // popts.seed, which is the one graph-dependent fit input (mix_seed over
+  // VarIndex). Stochastic families train per graph.
+  const bool cacheable = opts.factor_cache != nullptr &&
+                         opts.model == stats::ModelKind::kRidge;
+  if (cacheable && opts.metrics != nullptr) {
+    c_cache_hits = opts.metrics->counter("cache.factor_hits");
+    c_cache_misses = opts.metrics->counter("cache.factor_misses");
+  }
+
+  // One ridge fit per variable, all independent: parallelize over targets.
+  // Each target's predictor seed is derived from (opts.seed, target) alone,
+  // so the trained set is bitwise identical at any thread count.
+  parallel_for(opts.num_threads, space.size(), [&](std::size_t t) {
+    const VarIndex target = t;
+    if (cacheable) {
+      const auto& tvar = space.var(target);
+      std::uint64_t key = hash_mix(0x0FAC70C5u, tvar.entity.value());
+      key = hash_mix(key, tvar.kind.value());
+      // Sorted in-neighbor entity set: equal keys => identical candidate
+      // feature set => identical selection and fit (see FactorCache).
+      std::vector<std::uint32_t> nbrs;
+      for (const graph::NodeIndex nb : graph.in_neighbors(tvar.node))
+        nbrs.push_back(graph.entity_of(nb).value());
+      std::sort(nbrs.begin(), nbrs.end());
+      for (const std::uint32_t e : nbrs) key = hash_mix(key, e);
+
+      bool trained = false;
+      // The cached trainer runs with tracing off: WHICH symptom pays the
+      // miss is scheduling-dependent, and per-fit spans would make traces
+      // vary run to run. Counter totals stay deterministic (misses = unique
+      // keys, hits = lookups - misses).
+      const CachedFactor& cf = opts.factor_cache->get_or_train(
+          key, [&] { return train_target(target, nullptr); }, &trained);
+      if (trained) {
+        if (c_cache_misses != nullptr) c_cache_misses->add(1);
+      } else if (c_cache_hits != nullptr) {
+        c_cache_hits->add(1);
+      }
+      bind_factor(target, cf);
+      return;
+    }
+    bind_factor(target, train_target(target, opts.tracer));
   });
+
+  build_kernel();
 }
 
 void FactorSet::resample_node(graph::NodeIndex node, const MetricSpace& space,
                               std::vector<double>& state, Rng& rng) const {
   for (const VarIndex v : space.vars_of(node))
     state[v] = conditionals_[v]->sample(state, rng);
+}
+
+void FactorSet::build_kernel() {
+  const std::size_t n = conditionals_.size();
+  assert(n < std::numeric_limits<std::uint32_t>::max());
+  kernel_.vars.assign(n, {});
+  kernel_.mean.assign(n, 0.0);
+  kernel_.feat.clear();
+  kernel_.w.clear();
+  kernel_.fscale.clear();
+  kernel_.flat_count = 0;
+  // Tracks which variables already have their shared mean pinned by an
+  // earlier conditional. The serial ascending-v order makes the build
+  // deterministic.
+  std::vector<char> seen(n, 0);
+  for (VarIndex v = 0; v < n; ++v) {
+    const MetricConditional& c = *conditionals_[v];
+    SampleKernel::VarEntry& e = kernel_.vars[v];
+    const stats::Predictor* m = c.model();
+    const auto features = c.features();
+    if (features.empty() || m == nullptr) {
+      // predict() returns hist_mean; sample sigma is the residual sigma when
+      // a model exists, the historical sigma otherwise.
+      e.flat = true;
+      e.base = c.hist_mean();
+      e.sigma = m != nullptr ? m->residual_sigma() : c.hist_sigma();
+      ++kernel_.flat_count;
+      continue;
+    }
+    if (m->kind() != stats::ModelKind::kRidge) continue;  // fallback path
+    const auto* r = static_cast<const stats::RidgeRegression*>(m);
+    const stats::Vector& fm = r->feature_means();
+    const stats::Vector& fs = r->feature_scales();
+    // A shared centered entry is only valid if every conditional derives the
+    // exact same mean for the feature. fit_weighted() guarantees this (its
+    // column statistics depend only on the row weights, which are a function
+    // of the window length alone) — verify bitwise and fall back rather
+    // than trust it.
+    const auto same_bits = [](double a, double b) {
+      return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+    };
+    bool shareable = true;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      const VarIndex f = features[j];
+      if (seen[f] != 0 && !same_bits(kernel_.mean[f], fm[j])) {
+        shareable = false;
+        break;
+      }
+    }
+    if (!shareable) continue;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      const VarIndex f = features[j];
+      if (seen[f] == 0) {
+        seen[f] = 1;
+        kernel_.mean[f] = fm[j];
+      }
+    }
+    const stats::Vector& w = r->standardized_weights();
+    e.flat = true;
+    e.base = r->intercept();
+    e.sigma = m->residual_sigma();
+    e.begin = static_cast<std::uint32_t>(kernel_.feat.size());
+    e.count = static_cast<std::uint32_t>(features.size());
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      kernel_.feat.push_back(static_cast<std::uint32_t>(features[j]));
+      kernel_.w.push_back(w[j]);
+      kernel_.fscale.push_back(fs[j]);
+    }
+    ++kernel_.flat_count;
+  }
 }
 
 }  // namespace murphy::core

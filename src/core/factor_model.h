@@ -8,22 +8,27 @@
 // conditional a sampling distribution rather than a point predictor.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/core/factor_cache.h"
 #include "src/core/metric_space.h"
 #include "src/obs/hooks.h"
 #include "src/stats/predictor.h"
+#include "src/stats/window_stats.h"
 
 namespace murphy::core {
 
 // The learned conditional for ONE variable (one metric of one entity).
 class MetricConditional {
  public:
+  // The model is shared-const: the cross-symptom FactorCache hands the same
+  // fitted predictor to every FactorSet that hits the cache entry.
   MetricConditional(VarIndex target, std::vector<VarIndex> features,
-                    std::unique_ptr<stats::Predictor> model,
+                    std::shared_ptr<const stats::Predictor> model,
                     double hist_mean, double hist_sigma);
 
   // predict() and sample() are safe to call concurrently from many threads
@@ -59,10 +64,15 @@ class MetricConditional {
   [[nodiscard]] double training_mase() const { return training_mase_; }
   void set_training_mase(double m) { training_mase_ = m; }
 
+  // The fitted model (nullptr when the variable had no usable features).
+  // Exposed so FactorSet can flatten ridge conditionals into its sampling
+  // kernel.
+  [[nodiscard]] const stats::Predictor* model() const { return model_.get(); }
+
  private:
   VarIndex target_;
   std::vector<VarIndex> features_;
-  std::unique_ptr<stats::Predictor> model_;
+  std::shared_ptr<const stats::Predictor> model_;
   double hist_mean_;
   double hist_sigma_;
   double robust_center_ = 0.0;
@@ -98,6 +108,53 @@ struct FactorTrainingOptions {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   std::uint64_t trace_parent = 0;
+  // Optional training caches (null = train everything locally).
+  //
+  // window_stats: shared per-column moment cache (means/centered columns/
+  // sums of squares); correlations against cached columns are single dot
+  // products. factor_cache: cross-symptom factor reuse — each (entity, kind,
+  // in-neighbor-set) conditional trains once and is shared. Both caches
+  // yield bitwise-identical factors (see their headers for the proofs);
+  // the factor cache only engages for ridge models (stochastic families
+  // seed per VarIndex, which is graph-dependent). The CALLER owns validity:
+  // reset() each cache with a fingerprint of (window, db data version,
+  // options) before training — BatchDiagnoser does this per batch.
+  stats::WindowStats* window_stats = nullptr;
+  FactorCache* factor_cache = nullptr;
+};
+
+// Flattened, allocation-free view of the trained conditionals, built once
+// after training for the Gibbs sampler's inner loop.
+//
+// Ridge is the one model family whose predict() is a fixed arithmetic form,
+//   mu = base + sum_j (w[j] * (x[j] - mean[j])) / scale[j],
+// and because fit_weighted() computes each column's weighted mean with
+// weights that depend only on the row index (never on the target), every
+// conditional that uses variable f as a feature derives the bitwise-
+// identical mean for it. The subtraction is therefore shareable: the
+// sampler keeps one centered vector c[v] = state[v] - mean[v], updated once
+// per write, and the flattened predict performs exactly the multiply,
+// divide and add sequence of MetricConditional::predict — minus the virtual
+// dispatch, the feature-gather copy and the repeated subtractions.
+// Conditionals that cannot be flattened (non-ridge models, or a bitwise
+// mean mismatch, which build_kernel() checks defensively) fall back to the
+// virtual path; both paths keep work[] and c[] coherent.
+struct SampleKernel {
+  struct VarEntry {
+    std::uint32_t begin = 0;  // offset into feat/w/fscale
+    std::uint32_t count = 0;
+    bool flat = false;        // false -> use MetricConditional::sample
+    double base = 0.0;        // intercept (y_mean, or hist_mean if no model)
+    double sigma = 0.0;       // sampling stddev (residual or historical)
+  };
+  std::vector<VarEntry> vars;
+  std::vector<std::uint32_t> feat;  // feature VarIndex, contiguous per var
+  std::vector<double> w;            // standardized-space weight per slot
+  std::vector<double> fscale;       // feature scale per slot
+  // Shared per-variable centering; 0 for variables that never appear as a
+  // feature of a flattened conditional.
+  std::vector<double> mean;
+  std::size_t flat_count = 0;  // vars flattened (diagnostics/tests)
 };
 
 // The MRF: one MetricConditional per variable, trained online.
@@ -120,8 +177,37 @@ class FactorSet {
   void resample_node(graph::NodeIndex node, const MetricSpace& space,
                      std::vector<double>& state, Rng& rng) const;
 
+  [[nodiscard]] const SampleKernel& kernel() const { return kernel_; }
+
+  // Centered value of raw metric value x for variable v.
+  [[nodiscard]] double center(VarIndex v, double x) const {
+    return x - kernel_.mean[v];
+  }
+
+  // Draws variable v given the current raw state (`work`) and its centered
+  // mirror (`c`). Bit-identical to conditional(v).sample(work, rng); the
+  // flattened path just skips the virtual dispatch, the feature-gather copy
+  // and the per-feature mean subtractions.
+  [[nodiscard]] double kernel_sample(VarIndex v, std::span<const double> work,
+                                     std::span<const double> c,
+                                     Rng& rng) const {
+    const SampleKernel::VarEntry& e = kernel_.vars[v];
+    if (e.flat) [[likely]] {
+      double mu = e.base;
+      const std::uint32_t* f = kernel_.feat.data() + e.begin;
+      const double* w = kernel_.w.data() + e.begin;
+      const double* s = kernel_.fscale.data() + e.begin;
+      for (std::uint32_t k = 0; k < e.count; ++k) mu += w[k] * c[f[k]] / s[k];
+      return mu + e.sigma * rng.normal();
+    }
+    return conditionals_[v]->sample(work, rng);
+  }
+
  private:
+  void build_kernel();
+
   std::vector<std::unique_ptr<MetricConditional>> conditionals_;
+  SampleKernel kernel_;
 };
 
 }  // namespace murphy::core

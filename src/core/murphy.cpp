@@ -114,16 +114,21 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
   const std::uint64_t infer_span_id = infer_span.id();
   SamplerOptions smp = opts_.sampler;
   smp.seed = opts_.seed ^ 0x5EEDULL;
-  const CounterfactualSampler sampler(graph, space, factors, smp);
+  CounterfactualSampler sampler(graph, space, factors, smp);
+  // One backward BFS from the symptom, shared by every candidate's
+  // shortest-path-subgraph computation in the parallel loop below.
+  sampler.prepare(*symptom_node);
 
   obs::Counter* c_evaluated = nullptr;
   obs::Counter* c_accepted = nullptr;
   obs::Counter* c_resamples = nullptr;
+  obs::Counter* c_kernel_cells = nullptr;
   obs::Histogram* h_pvalue = nullptr;
   if (hooks.metrics != nullptr) {
     c_evaluated = hooks.metrics->counter("infer.candidates_evaluated");
     c_accepted = hooks.metrics->counter("infer.candidates_accepted");
     c_resamples = hooks.metrics->counter("infer.gibbs_node_resamples");
+    c_kernel_cells = hooks.metrics->counter("infer.kernel_cells");
     h_pvalue = hooks.metrics->histogram(
         "infer.p_value", {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0});
   }
@@ -195,6 +200,7 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
       cand_span.arg("accepted", verdict.is_root_cause);
     }
     if (c_resamples != nullptr) c_resamples->add(verdict.node_resamples);
+    if (c_kernel_cells != nullptr) c_kernel_cells->add(verdict.kernel_cells);
     if (h_pvalue != nullptr && verdict.path_len > 0)
       h_pvalue->observe(verdict.p_value);
     if (verdict.is_root_cause && c_accepted != nullptr) c_accepted->add(1);

@@ -17,6 +17,11 @@ CounterfactualSampler::CounterfactualSampler(
       opts_(opts),
       rng_(opts.seed) {}
 
+void CounterfactualSampler::prepare(graph::NodeIndex dst) {
+  dist_to_ = graph_.distances_to(dst);
+  prepared_dst_ = dst;
+}
+
 double CounterfactualSampler::resample_path(
     std::span<const graph::NodeIndex> path, VarIndex d_var,
     std::vector<double>& state, Rng& rng, std::size_t gibbs_rounds) const {
@@ -39,7 +44,12 @@ CounterfactualVerdict CounterfactualSampler::evaluate(
   CounterfactualVerdict verdict;
   if (a == d) return verdict;
 
-  const auto path = graph_.shortest_path_subgraph(a, d, opts_.path_slack);
+  // One backward BFS per diagnosis (prepare), one bounded forward BFS per
+  // candidate; same path vector as the self-contained overload.
+  const auto path =
+      d == prepared_dst_
+          ? graph_.shortest_path_subgraph(a, d, opts_.path_slack, dist_to_)
+          : graph_.shortest_path_subgraph(a, d, opts_.path_slack);
   if (path.empty()) return verdict;  // A cannot influence D
   verdict.path_len = path.size();
   verdict.node_resamples =
@@ -57,22 +67,67 @@ CounterfactualVerdict CounterfactualSampler::evaluate(
   const double a_cf =
       a_now + direction * opts_.counterfactual_sigmas * sigma;
 
-  std::vector<double> d1, d2;
+  // The inner loop below is the engine's hottest code (hundreds of millions
+  // of variable draws per batch run). It is equivalent draw-for-draw to
+  // resample_path() over a fresh copy of `state` per sample, but
+  //  - the resampling order is flattened once into `order` (vars of
+  //    path[1..], the candidate's own vars stay pinned),
+  //  - conditionals are drawn through FactorSet::kernel_sample over the
+  //    shared standardized z-state (see SampleKernel),
+  //  - instead of re-copying the full state per sample, only the variables
+  //    this path actually writes (`order` + a_var) are restored,
+  // none of which changes a single draw or FP operation.
+  thread_local std::vector<VarIndex> order;
+  order.clear();
+  for (std::size_t i = 1; i < path.size(); ++i)
+    for (const VarIndex v : space_.vars_of(path[i])) order.push_back(v);
+
+  const SampleKernel& kernel = factors_.kernel();
+  std::size_t cells_per_round = 0;
+  for (const VarIndex v : order) cells_per_round += kernel.vars[v].count;
+  verdict.kernel_cells =
+      2 * opts_.num_samples * opts_.gibbs_rounds * cells_per_round;
+
+  const std::size_t n_vars = state.size();
+  thread_local std::vector<double> work, cent, cent0, d1, d2;
+  work.assign(state.begin(), state.end());
+  cent.resize(n_vars);
+  for (VarIndex v = 0; v < n_vars; ++v)
+    cent[v] = factors_.center(v, state[v]);
+  cent0.assign(cent.begin(), cent.end());
+  const double a_cf_c = factors_.center(a_var, a_cf);
+
+  d1.clear();
+  d2.clear();
   d1.reserve(opts_.num_samples);
   d2.reserve(opts_.num_samples);
-  std::vector<double> work(state.size());
+
+  const std::size_t rounds = opts_.gibbs_rounds;
+  auto run_side = [&](double a_start, double a_start_c,
+                      std::vector<double>& out) {
+    work[a_var] = a_start;
+    cent[a_var] = a_start_c;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (const VarIndex v : order) {
+        const double val = factors_.kernel_sample(v, work, cent, rng);
+        work[v] = val;
+        cent[v] = factors_.center(v, val);
+      }
+    }
+    out.push_back(work[d_var]);
+    for (const VarIndex v : order) {
+      work[v] = state[v];
+      cent[v] = cent0[v];
+    }
+    work[a_var] = state[a_var];
+    cent[a_var] = cent0[a_var];
+  };
 
   for (std::size_t s = 0; s < opts_.num_samples; ++s) {
-    // Counterfactual start.
-    std::copy(state.begin(), state.end(), work.begin());
-    work[a_var] = a_cf;
-    d1.push_back(
-        resample_path(path, d_var, work, rng, opts_.gibbs_rounds));
-    // Factual start (same resampling so distributions are comparable).
-    std::copy(state.begin(), state.end(), work.begin());
-    work[a_var] = a_now;
-    d2.push_back(
-        resample_path(path, d_var, work, rng, opts_.gibbs_rounds));
+    // Counterfactual start, then factual start (same resampling so the
+    // distributions are comparable).
+    run_side(a_cf, a_cf_c, d1);
+    run_side(a_now, cent0[a_var], d2);
   }
 
   const auto t = stats::welch_t_test(d1, d2);

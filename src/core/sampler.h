@@ -43,6 +43,9 @@ struct CounterfactualVerdict {
   // of the graph and options, not of scheduling).
   std::size_t path_len = 0;         // resampled subgraph size, incl. endpoints
   std::size_t node_resamples = 0;   // resample_node calls across both sides
+  // Flattened-kernel multiply-add slots evaluated (w * c / s terms) across
+  // both sides — the sampler's arithmetic volume, again deterministic.
+  std::size_t kernel_cells = 0;
 };
 
 class CounterfactualSampler {
@@ -63,6 +66,15 @@ class CounterfactualSampler {
                                                VarIndex d_var,
                                                std::span<const double> state,
                                                bool symptom_high);
+
+  // Precomputes the backward BFS distance map for symptom node `dst`, so
+  // that every subsequent evaluate(..., d == dst, ...) builds its path
+  // subgraph with a single bounded forward BFS instead of two full ones.
+  // Call once per diagnosis, BEFORE the parallel candidate loop: evaluate()
+  // only reads the prepared map. Evaluating against a different symptom node
+  // falls back to the self-contained two-BFS path. Purely a work-saving
+  // cache — verdicts are bitwise identical either way.
+  void prepare(graph::NodeIndex dst);
 
   // Order-independent variant: the caller supplies the RNG (typically one
   // derived per candidate via mix_seed). Const and free of shared mutable
@@ -90,6 +102,9 @@ class CounterfactualSampler {
   const FactorSet& factors_;
   SamplerOptions opts_;
   Rng rng_;
+  // Backward distance map from prepare(); read-only during evaluation.
+  std::vector<std::size_t> dist_to_;
+  graph::NodeIndex prepared_dst_ = graph::kUnreachable;
 };
 
 }  // namespace murphy::core

@@ -122,15 +122,41 @@ std::vector<std::size_t> RelationshipGraph::distances_to(NodeIndex dst) const {
 
 std::vector<NodeIndex> RelationshipGraph::shortest_path_subgraph(
     NodeIndex src, NodeIndex dst, std::size_t slack) const {
-  const auto d_from = distances_from(src);
-  if (d_from[dst] == kUnreachable) return {};
   const auto d_to = distances_to(dst);
-  const std::size_t total = d_from[dst];
+  return shortest_path_subgraph(src, dst, slack, d_to);
+}
+
+std::vector<NodeIndex> RelationshipGraph::shortest_path_subgraph(
+    NodeIndex src, NodeIndex dst, std::size_t slack,
+    std::span<const std::size_t> dist_to_dst) const {
+  assert(dist_to_dst.size() == nodes_.size());
+  if (dist_to_dst[src] == kUnreachable) return {};  // A cannot reach D
+  const std::size_t total = dist_to_dst[src];
+  const std::size_t bound = total + slack;
+
+  // Forward BFS from src, bounded at depth `bound`: a member n must satisfy
+  // d_from[n] + d_to[n] <= bound with d_to[n] >= 0, hence d_from[n] <= bound
+  // — so the bounded search computes the exact forward distance of every
+  // possible member and only skips nodes the membership test would reject.
+  std::vector<std::size_t> d_from(nodes_.size(), kUnreachable);
+  std::deque<NodeIndex> queue;
+  d_from[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeIndex cur = queue.front();
+    queue.pop_front();
+    if (d_from[cur] >= bound) continue;  // children would exceed the bound
+    for (const NodeIndex nb : out_[cur]) {
+      if (d_from[nb] != kUnreachable) continue;
+      d_from[nb] = d_from[cur] + 1;
+      queue.push_back(nb);
+    }
+  }
 
   std::vector<NodeIndex> members;
   for (NodeIndex n = 0; n < nodes_.size(); ++n) {
-    if (d_from[n] == kUnreachable || d_to[n] == kUnreachable) continue;
-    if (d_from[n] + d_to[n] <= total + slack) members.push_back(n);
+    if (d_from[n] == kUnreachable || dist_to_dst[n] == kUnreachable) continue;
+    if (d_from[n] + dist_to_dst[n] <= bound) members.push_back(n);
   }
   std::sort(members.begin(), members.end(), [&](NodeIndex a, NodeIndex b) {
     // dst strictly last so the final resample yields its value.

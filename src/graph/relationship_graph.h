@@ -71,6 +71,16 @@ class RelationshipGraph {
   [[nodiscard]] std::vector<NodeIndex> shortest_path_subgraph(
       NodeIndex src, NodeIndex dst, std::size_t slack = 0) const;
 
+  // Same subgraph, but reusing a precomputed `distances_to(dst)` map. A
+  // diagnosis evaluates every candidate against ONE symptom node, so the
+  // backward BFS is shared across candidates and only a forward search —
+  // bounded at depth dist(src,dst) + slack, past which no node can satisfy
+  // the membership inequality — runs per call. Returns the identical vector
+  // the two-BFS overload produces.
+  [[nodiscard]] std::vector<NodeIndex> shortest_path_subgraph(
+      NodeIndex src, NodeIndex dst, std::size_t slack,
+      std::span<const std::size_t> dist_to_dst) const;
+
   // Cycle census used by §2.2's statistics: directed cycles of length 2
   // (a->b->a) and 3 (a->b->c->a), counted once per node set.
   [[nodiscard]] std::size_t count_2cycles() const;

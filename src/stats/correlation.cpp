@@ -5,29 +5,41 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/stats/matrix.h"
 #include "src/stats/summary.h"
 
 namespace murphy::stats {
 namespace {
 
-std::vector<double> ranks(std::span<const double> x) {
-  std::vector<std::size_t> order(x.size());
+// Midrank computation into a caller-provided buffer. `order` is scratch for
+// the argsort; both buffers are resized as needed so repeated calls on a
+// thread reuse the same allocations.
+void ranks_into(std::span<const double> x, std::vector<std::size_t>& order,
+                std::vector<double>& r) {
+  order.resize(x.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
-  std::vector<double> r(x.size());
+  r.resize(x.size());
   std::size_t i = 0;
   while (i < order.size()) {
     std::size_t j = i;
     while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]]) ++j;
-    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
     for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg_rank;
     i = j + 1;
   }
-  return r;
 }
 
 }  // namespace
+
+std::vector<double> midranks(std::span<const double> x) {
+  thread_local std::vector<std::size_t> order;
+  std::vector<double> r;
+  ranks_into(x, order, r);
+  return r;
+}
 
 double pearson(std::span<const double> x, std::span<const double> y) {
   assert(x.size() == y.size());
@@ -47,11 +59,26 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+double pearson_centered(std::span<const double> cx, double sxx,
+                        std::span<const double> cy, double syy) {
+  assert(cx.size() == cy.size());
+  if (cx.size() < 2) return 0.0;
+  if (sxx < 1e-15 || syy < 1e-15) return 0.0;
+  // Summing cx[i]*cy[i] in index order performs the exact add sequence the
+  // fused loop in pearson() performs for its sxy accumulator, so this is
+  // bit-identical to pearson() on the raw columns (the three accumulators
+  // there are independent).
+  const double sxy = dot_kernel(cx.data(), cy.data(), cx.size());
+  return sxy / std::sqrt(sxx * syy);
+}
+
 double spearman(std::span<const double> x, std::span<const double> y) {
   assert(x.size() == y.size());
   if (x.size() < 2) return 0.0;
-  const auto rx = ranks(x);
-  const auto ry = ranks(y);
+  thread_local std::vector<std::size_t> order;
+  thread_local std::vector<double> rx, ry;
+  ranks_into(x, order, rx);
+  ranks_into(y, order, ry);
   return pearson(rx, ry);
 }
 
@@ -62,7 +89,9 @@ double abnormality_correlation(std::span<const double> x,
   if (n < 2) return 0.0;
   const double mx = mean(x), sx = stddev(x);
   const double my = mean(y), sy = stddev(y);
-  std::vector<double> ax(n), ay(n);
+  thread_local std::vector<double> ax, ay;
+  ax.resize(n);
+  ay.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     ax[i] = std::abs(zscore(x[i], mx, sx));
     ay[i] = std::abs(zscore(y[i], my, sy));

@@ -12,6 +12,17 @@ namespace murphy::stats {
 [[nodiscard]] double pearson(std::span<const double> x,
                              std::span<const double> y);
 
+// Pearson from precomputed centered columns (cx[i] = x[i] - mean(x)) and
+// their sums of squared deviations. Bit-identical to pearson() on the raw
+// columns; lets a window cache (stats::ColumnMoments) turn each pairwise
+// correlation into a single dot product instead of a mean/variance rescan.
+[[nodiscard]] double pearson_centered(std::span<const double> cx, double sxx,
+                                      std::span<const double> cy, double syy);
+
+// Midranks (average rank for ties) of x, as used by spearman(). Exposed so
+// the window cache can precompute rank columns once per variable.
+[[nodiscard]] std::vector<double> midranks(std::span<const double> x);
+
 // Spearman rank correlation; robust to monotone nonlinearity.
 [[nodiscard]] double spearman(std::span<const double> x,
                               std::span<const double> y);

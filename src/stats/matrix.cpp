@@ -20,9 +20,10 @@ Matrix Matrix::gram() const {
     const double* x = row(r);
     for (std::size_t i = 0; i < cols_; ++i) {
       const double xi = x[i];
+      // Skipping zero rows short-circuits fully-downweighted (sqrt(w)=0)
+      // rows and avoids perturbing signed zeros / non-finite columns.
       if (xi == 0.0) continue;
-      double* gi = g.row(i);
-      for (std::size_t j = i; j < cols_; ++j) gi[j] += xi * x[j];
+      axpy_kernel(cols_ - i, xi, x + i, g.row(i) + i);
     }
   }
   for (std::size_t i = 0; i < cols_; ++i)
@@ -34,9 +35,7 @@ Vector Matrix::transpose_times(const Vector& v) const {
   assert(v.size() == rows_);
   Vector out(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* x = row(r);
-    const double vr = v[r];
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += x[c] * vr;
+    axpy_kernel(cols_, v[r], row(r), out.data());
   }
   return out;
 }
@@ -45,10 +44,7 @@ Vector Matrix::times(const Vector& v) const {
   assert(v.size() == cols_);
   Vector out(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* x = row(r);
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += x[c] * v[c];
-    out[r] = acc;
+    out[r] = dot_kernel(row(r), v.data(), cols_);
   }
   return out;
 }
@@ -98,9 +94,40 @@ std::optional<Vector> solve_spd(Matrix a, const Vector& b) {
 
 double dot(const Vector& a, const Vector& b) {
   assert(a.size() == b.size());
+  return dot_kernel(a.data(), b.data(), a.size());
+}
+
+double dot_kernel(const double* a, const double* b, std::size_t n) {
+  // Single accumulator fed in index order: the adds form the same dependency
+  // chain as the naive loop, so the result is bit-identical; the unroll lets
+  // the four multiplies issue in parallel ahead of the chain.
   double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double p0 = a[i] * b[i];
+    const double p1 = a[i + 1] * b[i + 1];
+    const double p2 = a[i + 2] * b[i + 2];
+    const double p3 = a[i + 3] * b[i + 3];
+    s += p0;
+    s += p1;
+    s += p2;
+    s += p3;
+  }
+  for (; i < n; ++i) s += a[i] * b[i];
   return s;
+}
+
+void axpy_kernel(std::size_t n, double a, const double* x, double* y) {
+  // Each output slot accumulates independently; unrolling cannot reorder any
+  // per-slot sequence.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i] += a * x[i];
+    y[i + 1] += a * x[i + 1];
+    y[i + 2] += a * x[i + 2];
+    y[i + 3] += a * x[i + 3];
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
 }
 
 }  // namespace murphy::stats

@@ -61,4 +61,15 @@ class Matrix {
 
 [[nodiscard]] double dot(const Vector& a, const Vector& b);
 
+// Low-level kernels shared by the matrix routines, the correlation cache and
+// the sampler. Both keep the exact sequential accumulation order of the
+// naive loops (dot uses a single accumulator in index order; every axpy
+// output slot is independent), so calls are bit-identical to the scalar
+// code they replace — unrolling only exposes instruction-level parallelism
+// for the multiplies.
+[[nodiscard]] double dot_kernel(const double* a, const double* b,
+                                std::size_t n);
+// y[i] += a * x[i] for i in [0, n).
+void axpy_kernel(std::size_t n, double a, const double* x, double* y);
+
 }  // namespace murphy::stats

@@ -38,21 +38,29 @@ void RidgeRegression::fit_weighted(const Matrix& x, const Vector& y,
   }
   if (w_total <= 0.0) w_total = 1.0;
 
-  // Weighted standardization.
+  // Weighted standardization, accumulated row-major so each design row is
+  // streamed once per pass instead of once per column. The per-column
+  // accumulators still receive their adds in row order, so the results are
+  // bit-identical to the column-at-a-time formulation.
   feat_mean_.assign(p, 0.0);
   feat_scale_.assign(p, 1.0);
-  for (std::size_t j = 0; j < p; ++j) {
-    double m = 0.0;
-    for (std::size_t i = 0; i < n; ++i) m += weights[i] * x.at(i, j);
-    m /= w_total;
-    double var = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = x.at(i, j) - m;
-      var += weights[i] * d * d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = weights[i];
+    const double* row = x.row(i);
+    for (std::size_t j = 0; j < p; ++j) feat_mean_[j] += wi * row[j];
+  }
+  for (std::size_t j = 0; j < p; ++j) feat_mean_[j] /= w_total;
+  Vector var(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = weights[i];
+    const double* row = x.row(i);
+    for (std::size_t j = 0; j < p; ++j) {
+      const double d = row[j] - feat_mean_[j];
+      var[j] += wi * d * d;
     }
-    var /= w_total;
-    feat_mean_[j] = m;
-    const double sd = std::sqrt(var);
+  }
+  for (std::size_t j = 0; j < p; ++j) {
+    const double sd = std::sqrt(var[j] / w_total);
     feat_scale_[j] = sd > 1e-12 ? sd : 1.0;  // constant column -> weight 0
   }
   {

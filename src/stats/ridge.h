@@ -28,6 +28,13 @@ class RidgeRegression final : public Predictor {
   // Weights in the standardized feature space (diagnostic / tests).
   [[nodiscard]] const Vector& standardized_weights() const { return w_; }
 
+  // Standardization parameters and intercept, exposed so the sampler can
+  // flatten fitted ridge models into a branch-free kernel:
+  //   predict(x) = y_mean + sum_j w[j] * (x[j] - mean[j]) / scale[j].
+  [[nodiscard]] const Vector& feature_means() const { return feat_mean_; }
+  [[nodiscard]] const Vector& feature_scales() const { return feat_scale_; }
+  [[nodiscard]] double intercept() const { return y_mean_; }
+
  private:
   double l2_;
   Vector w_;            // weights over standardized features

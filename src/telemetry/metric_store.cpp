@@ -50,6 +50,7 @@ void MetricStore::put(EntityId entity, MetricKindId kind,
 
 void MetricStore::put(EntityId entity, MetricKindId kind, TimeSeries series) {
   assert(series.size() == axis_.size());
+  ++version_;
   const MetricRef ref{entity, kind};
   const bool fresh = series_.find(ref) == series_.end();
   series_.insert_or_assign(ref, std::move(series));
@@ -63,7 +64,9 @@ const TimeSeries* MetricStore::find(EntityId entity, MetricKindId kind) const {
 
 TimeSeries* MetricStore::find_mutable(EntityId entity, MetricKindId kind) {
   const auto it = series_.find(MetricRef{entity, kind});
-  return it == series_.end() ? nullptr : &it->second;
+  if (it == series_.end()) return nullptr;
+  ++version_;  // the caller may write through the pointer
+  return &it->second;
 }
 
 std::vector<MetricKindId> MetricStore::kinds_of(EntityId entity) const {
@@ -72,6 +75,7 @@ std::vector<MetricKindId> MetricStore::kinds_of(EntityId entity) const {
 }
 
 void MetricStore::erase(EntityId entity, MetricKindId kind) {
+  ++version_;
   series_.erase(MetricRef{entity, kind});
   if (auto it = kinds_.find(entity); it != kinds_.end()) {
     auto& v = it->second;
@@ -80,6 +84,7 @@ void MetricStore::erase(EntityId entity, MetricKindId kind) {
 }
 
 void MetricStore::erase_entity(EntityId entity) {
+  ++version_;
   for (const MetricKindId kind : kinds_of(entity))
     series_.erase(MetricRef{entity, kind});
   kinds_.erase(entity);

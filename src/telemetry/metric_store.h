@@ -55,7 +55,16 @@ class MetricStore {
   explicit MetricStore(TimeAxis axis) : axis_(axis) {}
 
   [[nodiscard]] const TimeAxis& axis() const { return axis_; }
-  void set_axis(TimeAxis axis) { axis_ = axis; }
+  void set_axis(TimeAxis axis) {
+    axis_ = axis;
+    ++version_;
+  }
+
+  // Monotonic data version: bumped by every mutation path, including
+  // find_mutable() (conservatively — the caller may write through the
+  // pointer). Caches keyed on (window, version) use this to detect staleness
+  // without diffing series.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   // Replaces any existing series for (entity, kind). `values.size()` must
   // equal axis().size().
@@ -78,6 +87,7 @@ class MetricStore {
 
  private:
   TimeAxis axis_;
+  std::uint64_t version_ = 0;
   std::unordered_map<MetricRef, TimeSeries> series_;
   std::unordered_map<EntityId, std::vector<MetricKindId>> kinds_;
 };

@@ -7,6 +7,7 @@ namespace murphy::telemetry {
 
 EntityId MonitoringDb::add_entity(EntityType type, std::string name,
                                   AppId app) {
+  ++structural_version_;
   const EntityId id(static_cast<std::uint32_t>(entities_.size()));
   name_index_.emplace(name, id);
   entities_.push_back(EntityInfo{id, type, std::move(name), app});
@@ -19,6 +20,7 @@ void MonitoringDb::add_association(EntityId a, EntityId b, RelationKind kind,
                                    bool directed) {
   assert(has_entity(a) && has_entity(b));
   assert(a != b);
+  ++structural_version_;
   const std::size_t index = associations_.size();
   associations_.push_back(Association{a, b, kind, directed});
   assoc_index_[a].push_back(index);
@@ -34,6 +36,7 @@ AppId MonitoringDb::define_app(std::string name) {
 
 void MonitoringDb::add_to_app(AppId app, EntityId entity) {
   assert(app.valid() && app.value() < apps_.size());
+  ++structural_version_;
   apps_[app.value()].members.push_back(entity);
   entities_[entity.value()].app = app;
 }
@@ -99,6 +102,7 @@ AppId MonitoringDb::find_app(std::string_view name) const {
 
 void MonitoringDb::remove_association(std::size_t index) {
   assert(index < associations_.size());
+  ++structural_version_;
   associations_.erase(associations_.begin() +
                       static_cast<std::ptrdiff_t>(index));
   rebuild_assoc_index();
@@ -106,6 +110,7 @@ void MonitoringDb::remove_association(std::size_t index) {
 
 void MonitoringDb::remove_entity(EntityId id) {
   assert(has_entity(id));
+  ++structural_version_;
   present_[id.value()] = false;
   associations_.erase(
       std::remove_if(associations_.begin(), associations_.end(),

@@ -52,6 +52,15 @@ class MonitoringDb {
   AppId define_app(std::string name);
   void add_to_app(AppId app, EntityId entity);
 
+  // Monotonic version of everything diagnosis-relevant: entity/association
+  // structure (bumped by the population and degradation mutators here) plus
+  // the metric data (the store's own version, which also covers mutable
+  // series access). Training caches compare this against the version they
+  // were built at; any mutation anywhere invalidates them.
+  [[nodiscard]] std::uint64_t data_version() const {
+    return structural_version_ + metrics_.version();
+  }
+
   // --- queries (used by Murphy and the baselines) ---------------------------
   [[nodiscard]] std::size_t entity_count() const { return entities_.size(); }
   [[nodiscard]] const EntityInfo& entity(EntityId id) const;
@@ -95,6 +104,7 @@ class MonitoringDb {
  private:
   std::vector<EntityInfo> entities_;
   std::vector<bool> present_;
+  std::uint64_t structural_version_ = 0;
   std::vector<Association> associations_;
   std::unordered_map<EntityId, std::vector<std::size_t>> assoc_index_;
   std::unordered_map<std::string, EntityId> name_index_;

@@ -234,6 +234,46 @@ TEST(Determinism, BatchMergedBitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Determinism, SharedTrainingCachesDoNotChangeBatchBits) {
+  // The cross-symptom factor cache must be a pure wall-clock optimization:
+  // with sharing on (default) the merged ranking and every per-symptom
+  // result carry the exact bits the unshared engine produces, at any thread
+  // count. The chain symptoms' 4-hop graphs all cover the same four nodes,
+  // so the second and third symptoms are served almost entirely from cache.
+  const auto env = make_chain_env();
+  const std::vector<core::Symptom> symptoms{
+      core::Symptom{env.d, "cpu_util", 0.0, 5.0},
+      core::Symptom{env.c, "cpu_util", 0.0, 4.0},
+      core::Symptom{env.b, "cpu_util", 0.0, 3.0},
+  };
+
+  auto run = [&](bool share, std::size_t threads) {
+    core::BatchOptions bopts;
+    bopts.share_training = share;
+    bopts.murphy.sampler.num_samples = 80;
+    bopts.murphy.num_threads = threads;
+    core::BatchDiagnoser batch(bopts);
+    return batch.diagnose_symptoms(env.db, symptoms, 199, 0, 200);
+  };
+
+  const auto unshared = run(false, 1);
+  ASSERT_FALSE(unshared.merged.empty());
+  for (const std::size_t threads : {1u, 8u}) {
+    const auto shared = run(true, threads);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ASSERT_EQ(unshared.merged.size(), shared.merged.size());
+    for (std::size_t i = 0; i < unshared.merged.size(); ++i) {
+      EXPECT_EQ(unshared.merged[i].entity, shared.merged[i].entity);
+      EXPECT_EQ(unshared.merged[i].score, shared.merged[i].score);
+    }
+    ASSERT_EQ(unshared.per_symptom.size(), shared.per_symptom.size());
+    for (std::size_t s = 0; s < unshared.per_symptom.size(); ++s) {
+      SCOPED_TRACE("symptom " + std::to_string(s));
+      expect_bitwise_equal(unshared.per_symptom[s], shared.per_symptom[s]);
+    }
+  }
+}
+
 TEST(Determinism, HardwareDefaultMatchesSerial) {
   // num_threads = 0 (one thread per core, whatever this machine has) must
   // still produce the serial bits.

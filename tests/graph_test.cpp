@@ -176,6 +176,71 @@ TEST_F(Fig1Graph, WithoutNodeRepacksIndices) {
   EXPECT_TRUE(g2.shortest_path_subgraph(*src, *dst).empty());
 }
 
+TEST_F(Fig1Graph, PrecomputedDistanceOverloadMatchesTwoBfsEverywhere) {
+  // The per-diagnosis BFS-reuse overload must return the identical vector
+  // the self-contained overload produces, for every (src, dst, slack) —
+  // including slacks far beyond the graph's diameter.
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  for (NodeIndex dst = 0; dst < g.node_count(); ++dst) {
+    const auto d_to = g.distances_to(dst);
+    for (NodeIndex src = 0; src < g.node_count(); ++src) {
+      for (const std::size_t slack : {0u, 1u, 2u, 7u, 100u}) {
+        SCOPED_TRACE("src=" + std::to_string(src) + " dst=" +
+                     std::to_string(dst) + " slack=" + std::to_string(slack));
+        EXPECT_EQ(g.shortest_path_subgraph(src, dst, slack),
+                  g.shortest_path_subgraph(src, dst, slack, d_to));
+      }
+    }
+  }
+}
+
+TEST_F(Fig1Graph, CandidateEqualToSymptomIsSingletonAtZeroSlack) {
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto n = *g.index_of(frontend_);
+  const auto sub = g.shortest_path_subgraph(n, n, 0);
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.front(), n);
+  // With slack, the 2-cycles through frontend's neighbors qualify; the
+  // dst-strictly-last ordering still holds even when src == dst.
+  const auto wide = g.shortest_path_subgraph(n, n, 2);
+  EXPECT_GT(wide.size(), 1u);
+  EXPECT_EQ(wide.back(), n);
+}
+
+TEST(ShortestPathSubgraph, DisconnectedCandidateStaysEmptyUnderSlack) {
+  // No amount of slack manufactures a path that does not exist: membership
+  // requires reaching dst at all, so a disconnected candidate yields the
+  // empty subgraph from both overloads.
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  db.add_association(a, b, RelationKind::kCallerCallee, /*directed=*/true);
+  const EntityId seeds[] = {a, b};
+  const auto g = RelationshipGraph::build(db, seeds, 3);
+  const auto ia = *g.index_of(a);
+  const auto ib = *g.index_of(b);
+  EXPECT_TRUE(g.shortest_path_subgraph(ib, ia, 100).empty());
+  const auto d_to = g.distances_to(ia);
+  EXPECT_TRUE(g.shortest_path_subgraph(ib, ia, 100, d_to).empty());
+}
+
+TEST_F(Fig1Graph, SlackBeyondDiameterAdmitsEveryConnectedNode) {
+  // All Fig-1 associations are bidirectional, so with slack far past the
+  // diameter every node lies on some crawler -> backend1 walk within the
+  // bound: the subgraph saturates at the full node set, src first (distance
+  // 0) and dst strictly last.
+  const EntityId seeds[] = {crawler_};
+  const auto g = RelationshipGraph::build(db_, seeds, 10);
+  const auto src = *g.index_of(crawler_);
+  const auto dst = *g.index_of(backend1_);
+  const auto sub = g.shortest_path_subgraph(src, dst, 100);
+  EXPECT_EQ(sub.size(), g.node_count());
+  EXPECT_EQ(sub.front(), src);
+  EXPECT_EQ(sub.back(), dst);
+}
+
 TEST_F(Fig1Graph, DistancesFromAndTo) {
   const EntityId seeds[] = {crawler_};
   const auto g = RelationshipGraph::build(db_, seeds, 10);

@@ -4,6 +4,7 @@
 // utilities they all rest on. The end-to-end "instrumented diagnosis is
 // bitwise identical at every thread count" contract lives in
 // concurrency_test.cpp next to the other determinism tests.
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -13,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "src/common/thread_pool.h"
+#include "src/common/time_axis.h"
+#include "src/core/batch.h"
 #include "src/obs/audit.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
@@ -292,6 +295,59 @@ TEST(Metrics, ResetZeroesButKeepsPointersValid) {
   EXPECT_EQ(h->count(), 0u);
   c->add(1);
   EXPECT_EQ(reg.find_counter("n")->value(), 1u);
+}
+
+// The cross-symptom factor cache must actually engage in a batch run: with
+// symptoms whose relationship graphs overlap (here: identical), the second
+// and later symptoms are served from cache, and the engine reports that
+// through the registry the caller attached.
+TEST(Metrics, BatchDiagnosisRecordsFactorCacheHits) {
+  using telemetry::EntityType;
+  using telemetry::MonitoringDb;
+  using telemetry::RelationKind;
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "A");
+  const auto b = db.add_entity(EntityType::kVm, "B");
+  const auto c = db.add_entity(EntityType::kVm, "C");
+  db.add_association(a, b, RelationKind::kGeneric);
+  db.add_association(b, c, RelationKind::kGeneric);
+  const auto cpu = db.catalog().intern("cpu_util");
+  constexpr std::size_t kSlices = 120;
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, kSlices));
+  std::vector<double> va(kSlices), vb(kSlices), vc(kSlices);
+  for (std::size_t t = 0; t < kSlices; ++t) {
+    const double surge = t + 15 >= kSlices ? 9.0 : 0.0;
+    va[t] = 5.0 + 2.0 * std::sin(0.11 * static_cast<double>(t)) + surge;
+    vb[t] = 1.5 * va[t] + std::cos(0.07 * static_cast<double>(t));
+    vc[t] = 1.2 * vb[t] + std::sin(0.05 * static_cast<double>(t));
+  }
+  db.metrics().put(a, cpu, va);
+  db.metrics().put(b, cpu, vb);
+  db.metrics().put(c, cpu, vc);
+
+  MetricsRegistry registry;
+  core::BatchOptions bopts;
+  bopts.murphy.sampler.num_samples = 40;
+  bopts.murphy.num_threads = 1;
+  bopts.murphy.obs.metrics = &registry;
+  core::BatchDiagnoser batch(bopts);
+  const std::vector<core::Symptom> symptoms{
+      core::Symptom{c, "cpu_util", 0.0, 4.0},
+      core::Symptom{b, "cpu_util", 0.0, 3.0},
+      core::Symptom{a, "cpu_util", 0.0, 2.0},
+  };
+  const auto result =
+      batch.diagnose_symptoms(db, symptoms, kSlices - 1, 0, kSlices);
+  ASSERT_FALSE(result.merged.empty());
+
+  const Counter* hits = registry.find_counter("cache.factor_hits");
+  const Counter* misses = registry.find_counter("cache.factor_misses");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GT(misses->value(), 0u);  // somebody trained each unique factor
+  EXPECT_GT(hits->value(), 0u);    // and later symptoms reused it
+  // Window-column reuse flows through the same registry-backed accounting.
+  EXPECT_GT(registry.find_counter("train.corr_cells")->value(), 0u);
 }
 
 // TSAN target: hammer one counter and one histogram from many threads while

@@ -1,6 +1,7 @@
 // Unit tests for the stats substrate: matrix kernels, summaries,
 // correlations, t-tests and the four predictor families.
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include "src/stats/summary.h"
 #include "src/stats/svr.h"
 #include "src/stats/ttest.h"
+#include "src/stats/window_stats.h"
 
 namespace murphy::stats {
 namespace {
@@ -445,6 +447,83 @@ TEST(Rng, NormalMomentsRoughlyCorrect) {
   for (int i = 0; i < 20000; ++i) s.add(rng.normal(2.0, 3.0));
   EXPECT_NEAR(s.mean(), 2.0, 0.1);
   EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+// ---------- window moment cache --------------------------------------------
+
+// Two correlated columns with a few exact ties (so midranks average).
+std::pair<std::vector<double>, std::vector<double>> make_test_columns() {
+  Rng rng(123);
+  std::vector<double> x(64), y(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.2 * static_cast<double>(i)) + rng.normal(0.0, 0.4);
+    y[i] = 1.7 * x[i] + rng.normal(0.0, 0.6);
+  }
+  x[10] = x[30];  // exact ties exercise the midrank path
+  y[5] = y[41];
+  return {x, y};
+}
+
+TEST(WindowStats, ColumnMomentsReproduceSummariesBitwise) {
+  const auto [x, y] = make_test_columns();
+  const ColumnMoments mx = build_column_moments(x);
+  const ColumnMoments my = build_column_moments(y);
+  // EXPECT_EQ on double demands exact (bitwise for non-NaN) equality.
+  EXPECT_EQ(mx.mean, mean(x));
+  EXPECT_EQ(mx.sigma, stddev(x));
+  EXPECT_EQ(pearson_centered(mx.centered, mx.sxx, my.centered, my.sxx),
+            pearson(x, y));
+}
+
+TEST(WindowStats, DegenerateColumnsMatchUncachedConventions) {
+  const ColumnMoments one = build_column_moments({42.0});
+  EXPECT_EQ(one.sigma, 0.0);  // n < 2: stddev() returns 0
+  const ColumnMoments flat = build_column_moments({3.0, 3.0, 3.0});
+  const ColumnMoments ramp = build_column_moments({1.0, 2.0, 3.0});
+  // Constant column: pearson() returns 0, and so must the kernel.
+  EXPECT_EQ(pearson_centered(flat.centered, flat.sxx, ramp.centered,
+                             ramp.sxx),
+            0.0);
+}
+
+TEST(WindowStats, RankAndAbnormalityKernelsMatchUncached) {
+  const auto [x, y] = make_test_columns();
+  WindowStats ws;
+  ws.reset(1);
+  const ColumnMoments& mx = ws.with_ranks(1, [&] { return x; });
+  const ColumnMoments& my = ws.with_ranks(2, [&] { return y; });
+  EXPECT_EQ(pearson_centered(mx.rank_centered, mx.rank_sxx, my.rank_centered,
+                             my.rank_sxx),
+            spearman(x, y));
+  const ColumnMoments& ax = ws.with_abnormality(1, [&] { return x; });
+  const ColumnMoments& ay = ws.with_abnormality(2, [&] { return y; });
+  EXPECT_EQ(pearson_centered(ax.abn_centered, ax.abn_sxx, ay.abn_centered,
+                             ay.abn_sxx),
+            abnormality_correlation(x, y));
+}
+
+TEST(WindowStats, GenerationResetInvalidatesOnWindowShift) {
+  WindowStats ws;
+  ws.reset(/*fingerprint=*/10);
+  std::size_t loads = 0;
+  const auto loader = [&] {
+    ++loads;
+    return std::vector<double>{1.0, 2.0, 3.0};
+  };
+  (void)ws.get_or_build(7, loader);
+  (void)ws.get_or_build(7, loader);
+  EXPECT_EQ(loads, 1u);  // second lookup hits
+  EXPECT_EQ(ws.misses(), 1u);
+  EXPECT_EQ(ws.hits(), 1u);
+
+  ws.reset(10);  // same generation: cache survives
+  (void)ws.get_or_build(7, loader);
+  EXPECT_EQ(loads, 1u);
+
+  ws.reset(11);  // window shifted (or data version bumped): cache dropped
+  (void)ws.get_or_build(7, loader);
+  EXPECT_EQ(loads, 2u);
+  EXPECT_EQ(ws.fingerprint(), 11u);
 }
 
 }  // namespace

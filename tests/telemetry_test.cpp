@@ -1,5 +1,7 @@
 // Unit tests for the telemetry substrate: catalog interning, time series
 // with validity masks, the MonitoringDb query surface and degradation ops.
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "src/common/time_axis.h"
@@ -151,6 +153,45 @@ TEST_F(MonitoringDbTest, MetricEraseSingleKind) {
   EXPECT_EQ(db_.metrics().find(vm1_, cpu_), nullptr);
   ASSERT_EQ(db_.metrics().kinds_of(vm1_).size(), 1u);
   EXPECT_EQ(db_.metrics().kinds_of(vm1_)[0], mem);
+}
+
+TEST_F(MonitoringDbTest, DataVersionBumpsOnEveryMutation) {
+  // The training caches key their generation on data_version(); every
+  // mutation that can change what a training window would read must move it.
+  std::uint64_t last = db_.data_version();
+  const auto bumped = [&] {
+    const std::uint64_t now = db_.data_version();
+    const bool moved = now > last;
+    last = now;
+    return moved;
+  };
+
+  db_.metrics().put(vm2_, cpu_, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(bumped());
+  // find_mutable hands out a writable pointer: conservatively a new version.
+  ASSERT_NE(db_.metrics().find_mutable(vm2_, cpu_), nullptr);
+  EXPECT_TRUE(bumped());
+  // A miss hands out nothing, so the version must NOT move.
+  const MetricKindId absent = db_.catalog().intern("absent");
+  ASSERT_EQ(db_.metrics().find_mutable(vm2_, absent), nullptr);
+  EXPECT_FALSE(bumped());
+  db_.metrics().erase(vm2_, cpu_);
+  EXPECT_TRUE(bumped());
+
+  const auto extra = db_.add_entity(EntityType::kVm, "vm-extra");
+  EXPECT_TRUE(bumped());
+  db_.add_association(extra, host_, RelationKind::kVmOnHost);
+  EXPECT_TRUE(bumped());
+  db_.add_to_app(app_, extra);
+  EXPECT_TRUE(bumped());
+  db_.remove_association(db_.association_count() - 1);
+  EXPECT_TRUE(bumped());
+  db_.remove_entity(extra);
+  EXPECT_TRUE(bumped());
+  // Read-only queries leave the generation alone.
+  (void)db_.neighbors(host_);
+  (void)db_.metrics().find(vm1_, cpu_);
+  EXPECT_FALSE(bumped());
 }
 
 TEST(MonitoringDb, DirectedAssociationIsRecorded) {
