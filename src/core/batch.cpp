@@ -75,15 +75,18 @@ BatchResult BatchDiagnoser::diagnose_symptoms(
 
   // Cross-symptom training caches. The generation fingerprint covers the
   // training window, every db mutation (data_version) and the training
-  // options that shape a fit; the db address distinguishes concurrent
-  // stores. A fingerprint change resets both caches, so a window shift or
-  // any telemetry write retrains from scratch.
+  // options that shape a fit; the db's process-unique uid distinguishes
+  // distinct stores. (The uid, not the address: an address can be recycled
+  // by a db that is destroyed and another constructed at the same storage —
+  // with a coincidentally equal data_version the caches would serve stale
+  // factors, the classic ABA.) A fingerprint change resets both caches, so
+  // a window shift or any telemetry write retrains from scratch.
   if (opts_.share_training) {
     const FactorTrainingOptions& t = opts_.murphy.training;
     std::uint64_t fp = hash_mix(0xB47C4ACEu, train_begin);
     fp = hash_mix(fp, train_end);
     fp = hash_mix(fp, db.data_version());
-    fp = hash_mix(fp, reinterpret_cast<std::uintptr_t>(&db));
+    fp = hash_mix(fp, db.uid());
     if (window_stats_ == nullptr)
       window_stats_ = std::make_unique<stats::WindowStats>();
     window_stats_->reset(fp);

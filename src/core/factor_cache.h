@@ -21,8 +21,10 @@
 // FactorSet bypasses the cache for them.
 //
 // Validity is a generation fingerprint derived from (train window,
-// MonitoringDb::data_version(), training-option fingerprint); reset() drops
-// every entry when it changes. Entries build exactly once across threads
+// MonitoringDb::data_version(), MonitoringDb::uid() — a process-unique id,
+// immune to the address recycling that made the old &db fingerprint an ABA
+// hazard — and the training-option fingerprint); reset() drops every entry
+// when it changes. Entries build exactly once across threads
 // (shared-mutex map + per-entry once_flag), so the parallel per-symptom loop
 // of BatchDiagnoser needs no external locking.
 #pragma once

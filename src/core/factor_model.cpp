@@ -45,8 +45,14 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
                      const graph::RelationshipGraph& graph,
                      const MetricSpace& space, TimeIndex train_begin,
                      TimeIndex train_end, const FactorTrainingOptions& opts) {
-  assert(train_end > train_begin);
+  // Degenerate training windows (empty after a symptom at t=0, or inverted
+  // after clock-skewed telemetry) are defined, not asserted: clamp to an
+  // empty window, which trains flat hist-mean conditionals everywhere
+  // (DESIGN.md §8, counter `train.empty_windows`).
+  if (train_end < train_begin) train_end = train_begin;
   const std::size_t n_rows = train_end - train_begin;
+  if (n_rows == 0 && opts.metrics != nullptr)
+    opts.metrics->counter("train.empty_windows")->add(1);
   conditionals_.resize(space.size());
 
   // Per-variable window moments (mean, centered column, sum of squares):
@@ -114,7 +120,7 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
       if (f == target) return;
       const stats::ColumnMoments& fx = *col[f];
       const double c = std::abs(stats::pearson_centered(
-          fx.centered, fx.sxx, ty.centered, ty.sxx));
+          fx.centered, fx.sxx, fx.mean, ty.centered, ty.sxx, ty.mean));
       corr_cells += n_rows;
       if (c > 0.05) scored.emplace_back(c, f);
     };

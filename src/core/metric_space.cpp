@@ -36,6 +36,9 @@ std::vector<double> MetricSpace::snapshot(const telemetry::MonitoringDb& db,
 std::vector<double> MetricSpace::history(const telemetry::MonitoringDb& db,
                                          VarIndex v, TimeIndex from,
                                          TimeIndex to) const {
+  // An inverted window (to < from) is a telemetry defect, not a caller bug:
+  // unsigned subtraction below would request ~2^64 slices. Treat it as empty.
+  if (to < from) return {};
   const auto* ts = db.metrics().find(vars_[v].entity, vars_[v].kind);
   if (ts == nullptr) return std::vector<double>(to - from, 0.0);
   return ts->window(from, to, 0.0);

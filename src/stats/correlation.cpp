@@ -16,6 +16,18 @@ namespace {
 // thread reuse the same allocations.
 void ranks_into(std::span<const double> x, std::vector<std::size_t>& order,
                 std::vector<double>& r) {
+  // NaN breaks operator< strict weak ordering, which makes std::sort UB.
+  // Rank a sanitized copy instead (non-finite -> 0.0, the engine-wide
+  // missing-value fallback, DESIGN.md §8); finite input takes the fast path
+  // untouched.
+  thread_local std::vector<double> clean;
+  if (std::any_of(x.begin(), x.end(),
+                  [](double v) { return !std::isfinite(v); })) {
+    clean.assign(x.begin(), x.end());
+    for (double& v : clean)
+      if (!std::isfinite(v)) v = 0.0;
+    x = clean;
+  }
   order.resize(x.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(),
@@ -30,6 +42,16 @@ void ranks_into(std::span<const double> x, std::vector<std::size_t>& order,
     for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg_rank;
     i = j + 1;
   }
+}
+
+// Shared constancy test of pearson()/pearson_centered(): sxx at most
+// kCorrelationRelTol^2 of the column's total sum of squares. The mean square
+// is reconstructed as mean^2 + sxx/n, so both entry points decide from the
+// exact same inputs and stay bit-identical. The negated `!(>)` form also
+// routes NaN/Inf moments (from a poisoned column) into the defined 0 result.
+bool column_degenerate(double sxx, double n, double mx) {
+  const double mean_sq = mx * mx + sxx / n;
+  return !(sxx > n * mean_sq * kCorrelationRelTol * kCorrelationRelTol);
 }
 
 }  // namespace
@@ -55,21 +77,27 @@ double pearson(std::span<const double> x, std::span<const double> y) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx < 1e-15 || syy < 1e-15) return 0.0;
-  return sxy / std::sqrt(sxx * syy);
+  const double n_d = static_cast<double>(n);
+  if (column_degenerate(sxx, n_d, mx) || column_degenerate(syy, n_d, my))
+    return 0.0;
+  const double r = sxy / std::sqrt(sxx * syy);
+  return std::isfinite(r) ? r : 0.0;  // overflowed sxx*syy -> defined 0
 }
 
-double pearson_centered(std::span<const double> cx, double sxx,
-                        std::span<const double> cy, double syy) {
+double pearson_centered(std::span<const double> cx, double sxx, double mx,
+                        std::span<const double> cy, double syy, double my) {
   assert(cx.size() == cy.size());
   if (cx.size() < 2) return 0.0;
-  if (sxx < 1e-15 || syy < 1e-15) return 0.0;
+  const double n_d = static_cast<double>(cx.size());
+  if (column_degenerate(sxx, n_d, mx) || column_degenerate(syy, n_d, my))
+    return 0.0;
   // Summing cx[i]*cy[i] in index order performs the exact add sequence the
   // fused loop in pearson() performs for its sxy accumulator, so this is
   // bit-identical to pearson() on the raw columns (the three accumulators
   // there are independent).
   const double sxy = dot_kernel(cx.data(), cy.data(), cx.size());
-  return sxy / std::sqrt(sxx * syy);
+  const double r = sxy / std::sqrt(sxx * syy);
+  return std::isfinite(r) ? r : 0.0;
 }
 
 double spearman(std::span<const double> x, std::span<const double> y) {

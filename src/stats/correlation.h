@@ -8,16 +8,31 @@
 
 namespace murphy::stats {
 
-// Pearson correlation coefficient in [-1, 1]; 0 when either side is constant.
+// A column counts as effectively constant when its standard deviation is at
+// most kCorrelationRelTol times its RMS magnitude. The tolerance is RELATIVE
+// to the column's own scale: an absolute epsilon (the old 1e-15 on the sum
+// of squared deviations) misclassified legitimately tiny-scale metrics
+// (values ~1e-9 with O(1) relative variation) as constant while letting
+// huge-scale columns whose only variation is FP rounding noise (~1e-16
+// relative) pass as informative. 1e-12 relative sits ~4 decades above
+// double rounding noise and ~4 below any real signal.
+inline constexpr double kCorrelationRelTol = 1e-12;
+
+// Pearson correlation coefficient in [-1, 1]; 0 when either side is
+// effectively constant (see kCorrelationRelTol) or contains non-finite
+// values (a NaN/Inf slice yields the defined 0, never a NaN score).
 [[nodiscard]] double pearson(std::span<const double> x,
                              std::span<const double> y);
 
-// Pearson from precomputed centered columns (cx[i] = x[i] - mean(x)) and
-// their sums of squared deviations. Bit-identical to pearson() on the raw
-// columns; lets a window cache (stats::ColumnMoments) turn each pairwise
-// correlation into a single dot product instead of a mean/variance rescan.
+// Pearson from precomputed centered columns (cx[i] = x[i] - mean(x)), their
+// sums of squared deviations, and their means (mx/my carry the scale the
+// relative constancy test needs — centered columns alone can't). Bit-
+// identical to pearson() on the raw columns; lets a window cache
+// (stats::ColumnMoments) turn each pairwise correlation into a single dot
+// product instead of a mean/variance rescan.
 [[nodiscard]] double pearson_centered(std::span<const double> cx, double sxx,
-                                      std::span<const double> cy, double syy);
+                                      double mx, std::span<const double> cy,
+                                      double syy, double my);
 
 // Midranks (average rank for ties) of x, as used by spearman(). Exposed so
 // the window cache can precompute rank columns once per variable.

@@ -1,5 +1,6 @@
 #include "src/stats/ridge.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -16,6 +17,46 @@ void RidgeRegression::fit(const Matrix& x, const Vector& y) {
 
 void RidgeRegression::fit_weighted(const Matrix& x, const Vector& y,
                                    const Vector& weights) {
+  // Kernel-boundary guard (DESIGN.md §8): a NaN/Inf design or target cell
+  // would propagate through the Gram matrix and poison every coefficient.
+  // Non-finite cells degrade to 0.0 (the engine's missing-value fallback,
+  // matching TimeSeries::window) in a local copy; finite inputs take the
+  // fast path below untouched, so clean fits are bit-identical.
+  bool finite = true;
+  for (std::size_t i = 0; i < x.rows() && finite; ++i) {
+    const double* row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (!std::isfinite(row[j])) {
+        finite = false;
+        break;
+      }
+    }
+    if (!std::isfinite(y[i])) finite = false;
+  }
+  if (!finite) {
+    Matrix xc = x;
+    Vector yc = y;
+    std::size_t cells = 0;
+    for (std::size_t i = 0; i < xc.rows(); ++i) {
+      for (std::size_t j = 0; j < xc.cols(); ++j) {
+        double& v = xc.at(i, j);
+        if (!std::isfinite(v)) {
+          v = 0.0;
+          ++cells;
+        }
+      }
+      if (!std::isfinite(yc[i])) {
+        yc[i] = 0.0;
+        ++cells;
+      }
+    }
+#ifndef MURPHY_OBS_DISABLED
+    obs::global_metrics().counter("train.nonfinite_cells")->add(cells);
+#endif
+    fit_weighted(xc, yc, weights);
+    return;
+  }
+
   const std::size_t n = x.rows();
   const std::size_t p = x.cols();
 #ifndef MURPHY_OBS_DISABLED
@@ -59,10 +100,25 @@ void RidgeRegression::fit_weighted(const Matrix& x, const Vector& y,
       var[j] += wi * d * d;
     }
   }
+  std::size_t degenerate_cols = 0;
   for (std::size_t j = 0; j < p; ++j) {
     const double sd = std::sqrt(var[j] / w_total);
-    feat_scale_[j] = sd > 1e-12 ? sd : 1.0;  // constant column -> weight 0
+    if (sd > 1e-12) {
+      feat_scale_[j] = sd;
+    } else {
+      feat_scale_[j] = 1.0;  // constant column -> weight 0
+      ++degenerate_cols;
+    }
   }
+#ifndef MURPHY_OBS_DISABLED
+  if (degenerate_cols > 0) {
+    static obs::Counter* const c_degenerate =
+        obs::global_metrics().counter("train.degenerate_columns");
+    c_degenerate->add(degenerate_cols);
+  }
+#else
+  (void)degenerate_cols;
+#endif
   {
     double m = 0.0;
     for (std::size_t i = 0; i < n; ++i) m += weights[i] * y[i];
@@ -89,7 +145,13 @@ void RidgeRegression::fit_weighted(const Matrix& x, const Vector& y,
   const Vector b = xs.transpose_times(yc);
   auto solved = solve_spd(a, b);
   // The diagonal loading makes the system SPD in all practical cases; fall
-  // back to the mean-only model if numerics still fail.
+  // back to the mean-only model if numerics still fail — including a solve
+  // that "succeeds" with non-finite coefficients (possible when the Gram
+  // matrix overflowed on extreme-scale columns).
+  if (solved &&
+      std::any_of(solved->begin(), solved->end(),
+                  [](double w) { return !std::isfinite(w); }))
+    solved.reset();
   w_ = solved ? std::move(*solved) : Vector(p, 0.0);
 
   OnlineStats resid;

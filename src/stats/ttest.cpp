@@ -81,19 +81,46 @@ double student_t_cdf(double t, double dof) {
   return t >= 0.0 ? 1.0 - tail : tail;
 }
 
+namespace {
+
+// The evidence-free verdict for degenerate inputs: neutral in both
+// directions, so it can never implicate (or exonerate) a candidate.
+TTestResult degenerate_ttest() {
+#ifndef MURPHY_OBS_DISABLED
+  static obs::Counter* const c_degenerate =
+      obs::global_metrics().counter("stats.ttest_degenerate");
+  c_degenerate->add(1);
+#endif
+  TTestResult r;
+  r.t = 0.0;
+  r.dof = 1.0;
+  r.p_less = 0.5;
+  r.p_two_sided = 1.0;
+  return r;
+}
+
+}  // namespace
+
 TTestResult welch_t_test(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() >= 2 && y.size() >= 2);
 #ifndef MURPHY_OBS_DISABLED
   static obs::Counter* const c_tests =
       obs::global_metrics().counter("stats.welch_ttests");
   c_tests->add(1);
 #endif
+  // Defined, finite semantics for degenerate samples (previously asserted):
+  // fewer than 2 points on either side carries no distributional evidence.
+  if (x.size() < 2 || y.size() < 2) return degenerate_ttest();
   const double nx = static_cast<double>(x.size());
   const double ny = static_cast<double>(y.size());
   const double mx = mean(x);
   const double my = mean(y);
   const double vx = variance(x);
   const double vy = variance(y);
+  // A non-finite moment means a poisoned sample (NaN/Inf draw) — neutral
+  // verdict rather than NaN p-values that compare false everywhere.
+  if (!std::isfinite(mx) || !std::isfinite(my) || !std::isfinite(vx) ||
+      !std::isfinite(vy))
+    return degenerate_ttest();
 
   TTestResult r;
   const double se2 = vx / nx + vy / ny;

@@ -12,6 +12,24 @@ ColumnMoments build_column_moments(std::vector<double> values) {
   ColumnMoments m;
   m.values = std::move(values);
   const std::size_t n = m.values.size();
+  // Defined defect semantics: non-finite slices degrade to the missing-value
+  // fallback (0.0) instead of poisoning every moment built from the column.
+  std::size_t nonfinite = 0;
+  for (double& v : m.values) {
+    if (!std::isfinite(v)) {
+      v = 0.0;
+      ++nonfinite;
+    }
+  }
+#ifndef MURPHY_OBS_DISABLED
+  if (nonfinite > 0) {
+    static obs::Counter* const c_nonfinite =
+        obs::global_metrics().counter("train.nonfinite_cells");
+    c_nonfinite->add(nonfinite);
+  }
+#else
+  (void)nonfinite;
+#endif
   // Exactly mean()'s sum order, then pearson()'s dx and sxx accumulation;
   // variance() accumulates the identical products, so sigma reproduces
   // stddev() bitwise.
@@ -27,16 +45,18 @@ ColumnMoments build_column_moments(std::vector<double> values) {
 
 namespace {
 
-// Centers `col` in place-style into (centered, sxx), with the accumulation
-// order of pearson() on that column.
+// Centers `col` in place-style into (centered, mean, sxx), with the
+// accumulation order of pearson() on that column.
 void center_column(const std::vector<double>& col,
-                   std::vector<double>& centered, double& sxx_out) {
+                   std::vector<double>& centered, double& mean_out,
+                   double& sxx_out) {
   const double mu = stats::mean(col);
   centered.resize(col.size());
   for (std::size_t i = 0; i < col.size(); ++i) centered[i] = col[i] - mu;
   double sxx = 0.0;
   for (std::size_t i = 0; i < col.size(); ++i)
     sxx += centered[i] * centered[i];
+  mean_out = mu;
   sxx_out = sxx;
 }
 
@@ -87,7 +107,7 @@ const ColumnMoments& WindowStats::with_ranks(std::uint64_t key,
   });
   std::call_once(e.rank_once, [&] {
     center_column(midranks(e.moments.values), e.moments.rank_centered,
-                  e.moments.rank_sxx);
+                  e.moments.rank_mean, e.moments.rank_sxx);
   });
   return e.moments;
 }
@@ -107,7 +127,8 @@ const ColumnMoments& WindowStats::with_abnormality(std::uint64_t key,
     std::vector<double> abn(v.size());
     for (std::size_t i = 0; i < v.size(); ++i)
       abn[i] = std::abs(stats::zscore(v[i], e.moments.mean, e.moments.sigma));
-    center_column(abn, e.moments.abn_centered, e.moments.abn_sxx);
+    center_column(abn, e.moments.abn_centered, e.moments.abn_mean,
+                  e.moments.abn_sxx);
   });
   return e.moments;
 }

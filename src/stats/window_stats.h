@@ -44,17 +44,26 @@ struct ColumnMoments {
 
   // Lazy extras for the rank / abnormality kernels (built on demand, see
   // WindowStats::with_ranks / with_abnormality):
-  // centered midranks + their sum of squares — spearman(x, y) is
-  // pearson(ranks(x), ranks(y)), so two rank columns make it one dot.
+  // centered midranks + their mean and sum of squares — spearman(x, y) is
+  // pearson(ranks(x), ranks(y)), so two rank columns make it one dot. The
+  // means ride along because pearson_centered's scale-aware constancy test
+  // needs them.
   std::vector<double> rank_centered;
+  double rank_mean = 0.0;
   double rank_sxx = 0.0;
   // centered |z|-score column — abnormality_correlation(x, y) is
   // pearson(|z|(x), |z|(y)).
   std::vector<double> abn_centered;
+  double abn_mean = 0.0;
   double abn_sxx = 0.0;
 };
 
-// Builds the eager (pearson) moments of one column.
+// Builds the eager (pearson) moments of one column. Non-finite values are a
+// telemetry defect (DESIGN.md §8): they are replaced by 0.0 — the engine's
+// missing-value fallback, matching TimeSeries::window() — before any moment
+// is accumulated (counter `train.nonfinite_cells`), so one poisoned slice
+// can no longer NaN a whole generation of cached moments. Finite columns
+// are processed bit-identically to before.
 [[nodiscard]] ColumnMoments build_column_moments(std::vector<double> values);
 
 class WindowStats {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <unordered_map>
 #include <vector>
@@ -175,6 +176,11 @@ std::optional<ImportResult> import_csv(std::istream& entities,
   struct SeriesAccumulator {
     std::vector<double> values;
     std::vector<bool> valid;
+    // Duplicate / ordering detection (see ImportResult): which slices have
+    // been written, and the highest slice written so far.
+    std::vector<bool> written;
+    std::size_t max_slice_written = 0;
+    bool any_written = false;
   };
   std::unordered_map<MetricRef, SeriesAccumulator> series;
   std::size_t max_slice = 0;
@@ -202,9 +208,23 @@ std::optional<ImportResult> import_csv(std::istream& entities,
     if (slice >= acc.values.size()) {
       acc.values.resize(slice + 1, 0.0);
       acc.valid.resize(slice + 1, false);
+      acc.written.resize(slice + 1, false);
     }
+    // Defined defect semantics (ImportResult): duplicated keys are
+    // last-write-wins, out-of-order rows land on their slice regardless of
+    // file order; both are tallied so degradation is observable. The tallies
+    // are disjoint — a repeated key is a duplicate, never also out-of-order.
+    if (acc.written[slice]) {
+      ++result.duplicate_rows;
+    } else if (acc.any_written && slice < acc.max_slice_written) {
+      ++result.out_of_order_rows;
+    }
+    if (!std::isfinite(value)) ++result.nonfinite_values;
     acc.values[slice] = value;
     acc.valid[slice] = fields[4] == "1";
+    acc.written[slice] = true;
+    acc.max_slice_written = std::max(acc.max_slice_written, slice);
+    acc.any_written = true;
     max_slice = std::max(max_slice, slice);
   }
 

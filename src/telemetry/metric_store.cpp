@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "src/obs/metrics.h"
 
 namespace murphy::telemetry {
+namespace {
+
+// Ingest/read-side defect counters (DESIGN.md §8). Resolved once; updates
+// are single relaxed atomics and only happen on the defect path.
+void count_defect(const char* name, std::uint64_t n) {
+#ifndef MURPHY_OBS_DISABLED
+  if (n == 0) return;
+  obs::global_metrics().counter(name)->add(n);
+#else
+  (void)name;
+  (void)n;
+#endif
+}
+
+}  // namespace
 
 TimeSeries::TimeSeries(std::vector<double> values)
     : values_(std::move(values)), valid_(values_.size(), true) {}
@@ -15,7 +33,16 @@ TimeSeries::TimeSeries(std::vector<double> values, std::vector<bool> valid)
 
 double TimeSeries::value_or(TimeIndex t, double fallback) const {
   if (t >= values_.size() || !valid_[t]) return fallback;
-  return values_[t];
+  const double v = values_[t];
+  if (!std::isfinite(v)) {
+    // Raw writes (set / find_mutable) can store non-finite payloads past the
+    // ingest sanitizer; the read path defines them as missing so a poisoned
+    // slice degrades to the documented fallback instead of NaN-ing every
+    // moment downstream.
+    count_defect("ingest.nonfinite_reads", 1);
+    return fallback;
+  }
+  return v;
 }
 
 void TimeSeries::set(TimeIndex t, double v) {
@@ -29,6 +56,17 @@ void TimeSeries::invalidate(TimeIndex t) {
   valid_[t] = false;
 }
 
+std::size_t TimeSeries::sanitize() {
+  std::size_t dropped = 0;
+  for (TimeIndex t = 0; t < values_.size(); ++t) {
+    if (valid_[t] && !std::isfinite(values_[t])) {
+      valid_[t] = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
 void TimeSeries::invalidate_before(TimeIndex t) {
   const TimeIndex end = std::min(t, values_.size());
   for (TimeIndex i = 0; i < end; ++i) valid_[i] = false;
@@ -36,7 +74,10 @@ void TimeSeries::invalidate_before(TimeIndex t) {
 
 std::vector<double> TimeSeries::window(TimeIndex from, TimeIndex to,
                                        double fallback) const {
-  assert(from <= to && to <= values_.size());
+  // Total on any (from, to): an inverted window is empty (the unsigned
+  // to - from below would otherwise reserve ~2^64 slices), and slices beyond
+  // the axis read as missing through value_or's bounds check.
+  if (to < from) return {};
   std::vector<double> out;
   out.reserve(to - from);
   for (TimeIndex t = from; t < to; ++t) out.push_back(value_or(t, fallback));
@@ -50,6 +91,7 @@ void MetricStore::put(EntityId entity, MetricKindId kind,
 
 void MetricStore::put(EntityId entity, MetricKindId kind, TimeSeries series) {
   assert(series.size() == axis_.size());
+  count_defect("ingest.nonfinite_dropped", series.sanitize());
   ++version_;
   const MetricRef ref{entity, kind};
   const bool fresh = series_.find(ref) == series_.end();

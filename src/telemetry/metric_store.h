@@ -4,6 +4,21 @@
 // Values may be missing — a newly spawned entity has no history, and the
 // robustness experiments (Table 2) deliberately delete values — so each
 // series carries a validity mask alongside its values.
+//
+// Telemetry-defect semantics (DESIGN.md §8): real collectors emit NaN/Inf
+// payloads, and a single non-finite slice would otherwise poison every
+// moment, factor and ranking downstream. The store therefore defines
+// non-finite values as MISSING:
+//  * MetricStore::put() sanitizes at ingest — non-finite slices are marked
+//    invalid (counter `ingest.nonfinite_dropped`), the stored payload is
+//    untouched;
+//  * TimeSeries::value_or() / window() treat a stored non-finite value as
+//    missing even when its validity bit is set (counter
+//    `ingest.nonfinite_reads`), covering raw writes through set() /
+//    find_mutable() that bypass ingest;
+//  * the raw accessors value() / values() still expose the stored payload
+//    (the exporter round-trips it; the importer re-drops it).
+// Finite data is returned bit-for-bit unchanged on every path.
 #pragma once
 
 #include <optional>
@@ -28,19 +43,24 @@ class TimeSeries {
   [[nodiscard]] bool is_valid(TimeIndex t) const { return valid_[t]; }
   // Value at t, or `fallback` when the slice is missing. The paper uses a
   // default (e.g. 0% CPU) as placeholder for missing history (§4.2).
+  // Non-finite stored values count as missing (see header comment).
   [[nodiscard]] double value_or(TimeIndex t, double fallback) const;
 
   [[nodiscard]] std::span<const double> values() const { return values_; }
 
   void set(TimeIndex t, double v);
   void invalidate(TimeIndex t);
+  // Marks every valid-but-non-finite slice invalid; returns how many were
+  // dropped. put() applies this to everything it ingests.
+  std::size_t sanitize();
   // Drop history before `t` (keeps values from t onward). Used by the
   // "missing values" degradation, which removes history but keeps the
   // incident window.
   void invalidate_before(TimeIndex t);
 
   // Values restricted to [from, to) with missing slices replaced by
-  // `fallback`; the shape the trainers consume.
+  // `fallback`; the shape the trainers consume. Total: an inverted window
+  // (to < from) is empty, slices beyond the axis read as `fallback`.
   [[nodiscard]] std::vector<double> window(TimeIndex from, TimeIndex to,
                                            double fallback = 0.0) const;
 
@@ -67,7 +87,8 @@ class MetricStore {
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
   // Replaces any existing series for (entity, kind). `values.size()` must
-  // equal axis().size().
+  // equal axis().size(). Ingest sanitizes: non-finite slices are marked
+  // missing (counter `ingest.nonfinite_dropped`).
   void put(EntityId entity, MetricKindId kind, std::vector<double> values);
   void put(EntityId entity, MetricKindId kind, TimeSeries series);
 

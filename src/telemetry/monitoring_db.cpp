@@ -1,9 +1,17 @@
 #include "src/telemetry/monitoring_db.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace murphy::telemetry {
+
+std::uint64_t DbUid::next() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 EntityId MonitoringDb::add_entity(EntityType type, std::string name,
                                   AppId app) {
@@ -18,8 +26,21 @@ EntityId MonitoringDb::add_entity(EntityType type, std::string name,
 
 void MonitoringDb::add_association(EntityId a, EntityId b, RelationKind kind,
                                    bool directed) {
-  assert(has_entity(a) && has_entity(b));
-  assert(a != b);
+  // Defined semantics for malformed edges (DESIGN.md §8): drop and count
+  // instead of storing an edge no consumer can interpret. Nothing changes
+  // for well-formed input, so no version bump on the drop paths.
+  if (a == b) {
+#ifndef MURPHY_OBS_DISABLED
+    obs::global_metrics().counter("ingest.selfloop_edges_dropped")->add(1);
+#endif
+    return;
+  }
+  if (!has_entity(a) || !has_entity(b)) {
+#ifndef MURPHY_OBS_DISABLED
+    obs::global_metrics().counter("ingest.orphan_edges_dropped")->add(1);
+#endif
+    return;
+  }
   ++structural_version_;
   const std::size_t index = associations_.size();
   associations_.push_back(Association{a, b, kind, directed});

@@ -40,6 +40,37 @@ struct AppInfo {
   std::vector<EntityId> members;
 };
 
+// Process-unique monotonic database identity, used by training caches to
+// fingerprint the db they were built against. An address-based identity
+// suffers ABA: a freed-and-reallocated db at the same address with a
+// coincidentally equal data_version() false-hits and serves stale factors.
+// DbUid draws from a global monotonic counter and keeps uniqueness through
+// value semantics: a copy gets a fresh id (copies may diverge while their
+// version counters coincide), a move transfers the id and re-keys the
+// moved-from source (whose now-empty state must not alias the destination).
+class DbUid {
+ public:
+  DbUid() : value_(next()) {}
+  DbUid(const DbUid&) : value_(next()) {}
+  DbUid& operator=(const DbUid&) {
+    value_ = next();
+    return *this;
+  }
+  DbUid(DbUid&& other) noexcept : value_(other.value_) {
+    other.value_ = next();
+  }
+  DbUid& operator=(DbUid&& other) noexcept {
+    value_ = other.value_;
+    other.value_ = next();
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  static std::uint64_t next();
+  std::uint64_t value_;
+};
+
 class MonitoringDb {
  public:
   MonitoringDb() = default;
@@ -47,6 +78,11 @@ class MonitoringDb {
   // --- population (used by the generators/simulators) -----------------------
   EntityId add_entity(EntityType type, std::string name,
                       AppId app = AppId::invalid());
+  // Records a loose association. Malformed edges — self-loops and edges
+  // whose endpoint is absent (never added, or removed) — are real telemetry
+  // defects; they are dropped at ingest and counted
+  // (`ingest.selfloop_edges_dropped`, `ingest.orphan_edges_dropped`) rather
+  // than stored, so no consumer ever sees them (DESIGN.md §8).
   void add_association(EntityId a, EntityId b, RelationKind kind,
                        bool directed = false);
   AppId define_app(std::string name);
@@ -60,6 +96,10 @@ class MonitoringDb {
   [[nodiscard]] std::uint64_t data_version() const {
     return structural_version_ + metrics_.version();
   }
+
+  // Process-unique identity of this db object (see DbUid). Cache
+  // fingerprints chain (uid, data_version) — never the object's address.
+  [[nodiscard]] std::uint64_t uid() const { return uid_.value(); }
 
   // --- queries (used by Murphy and the baselines) ---------------------------
   [[nodiscard]] std::size_t entity_count() const { return entities_.size(); }
@@ -113,6 +153,7 @@ class MonitoringDb {
   MetricCatalog catalog_;
   MetricStore metrics_;
   ConfigEventLog config_events_;
+  DbUid uid_;
 
   void rebuild_assoc_index();
 };

@@ -3,10 +3,13 @@
 // end-to-end diagnoser on both microservice and enterprise scenarios.
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <new>
 
 #include <gtest/gtest.h>
 
 #include "src/core/anomaly.h"
+#include "src/core/batch.h"
 #include "src/core/explain.h"
 #include "src/core/murphy.h"
 #include "src/core/sampler.h"
@@ -433,6 +436,147 @@ TEST(ConfigWindow, DiagnosisSurfacesRecentChangesOnly) {
   ASSERT_EQ(result.recent_config_changes.size(), 1u);
   EXPECT_EQ(result.recent_config_changes[0].entity, f.a);
   EXPECT_EQ(result.recent_config_changes[0].at, 195u);
+}
+
+// --- malformed-telemetry hardening (DESIGN.md §8) ---------------------------
+
+TEST(FactorModel, PoisonedSliceNoLongerNaNsEveryScore) {
+  // The regression the ingest/kernel guards exist for: before them, one raw
+  // NaN slice in one series flowed into WindowStats moments and the ridge
+  // Gram matrix, turning EVERY candidate's score into NaN. Now it degrades
+  // to a missing value and the diagnosis stays finite and non-empty.
+  ChainFixture f(200, 15.0);
+  auto* ts = f.db.metrics().find_mutable(f.a, f.load);
+  ts->set(60, std::numeric_limits<double>::quiet_NaN());
+  ts->set(61, std::numeric_limits<double>::infinity());
+
+  // Kernel level: retrained conditionals stay finite...
+  FactorTrainingOptions topts;
+  const FactorSet factors(f.db, f.graph, *f.space, 0, 200, topts);
+  const auto state = f.space->snapshot(f.db, 150);
+  for (VarIndex v = 0; v < f.space->size(); ++v) {
+    EXPECT_TRUE(std::isfinite(factors.conditional(v).predict(state))) << v;
+    EXPECT_TRUE(std::isfinite(factors.conditional(v).hist_mean())) << v;
+  }
+
+  // ...and so does the end-to-end ranking.
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 60;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &f.db;
+  req.symptom_entity = f.c;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  const auto result = murphy.diagnose(req);
+  EXPECT_FALSE(result.causes.empty());
+  for (const auto& cause : result.causes)
+    EXPECT_TRUE(std::isfinite(cause.score));
+}
+
+TEST(FactorModel, DegenerateTrainingWindowsAreDefined) {
+  ChainFixture f(200, 15.0);
+  const auto state = f.space->snapshot(f.db, 199);
+  FactorTrainingOptions topts;
+  // Empty, single-slice and inverted (clamped-to-empty) windows must train
+  // flat-but-finite conditionals instead of asserting or dividing by zero.
+  struct { TimeIndex begin, end; } windows[] = {{50, 50}, {50, 51}, {150, 50}};
+  for (const auto [begin, end] : windows) {
+    SCOPED_TRACE(std::to_string(begin) + ".." + std::to_string(end));
+    const FactorSet factors(f.db, f.graph, *f.space, begin, end, topts);
+    for (VarIndex v = 0; v < f.space->size(); ++v) {
+      EXPECT_TRUE(std::isfinite(factors.conditional(v).predict(state)));
+      EXPECT_TRUE(std::isfinite(factors.conditional(v).hist_sigma()));
+    }
+  }
+}
+
+TEST(MurphyEndToEnd, EmptyTrainingWindowProducesFiniteResult) {
+  ChainFixture f(200, 15.0);
+  MurphyOptions mopts;
+  mopts.sampler.num_samples = 40;
+  MurphyDiagnoser murphy(mopts);
+  DiagnosisRequest req;
+  req.db = &f.db;
+  req.symptom_entity = f.c;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 199;
+  req.train_end = 199;  // no history at all
+  const auto result = murphy.diagnose(req);
+  for (const auto& cause : result.causes)
+    EXPECT_TRUE(std::isfinite(cause.score));
+}
+
+namespace {
+
+// Chain db for the ABA test: identical structure and mutation sequence
+// (hence identical data_version), different payload values.
+EntityId fill_chain_db(telemetry::MonitoringDb& db, double slope) {
+  const auto a = db.add_entity(EntityType::kVm, "A");
+  const auto b = db.add_entity(EntityType::kVm, "B");
+  const auto c = db.add_entity(EntityType::kVm, "C");
+  db.add_association(a, b, RelationKind::kGeneric);
+  db.add_association(b, c, RelationKind::kGeneric);
+  const auto load = db.catalog().intern("cpu_util");
+  constexpr std::size_t kSlices = 100;
+  db.metrics().set_axis(TimeAxis(0.0, 10.0, kSlices));
+  Rng rng(5);
+  std::vector<double> va(kSlices), vb(kSlices), vc(kSlices);
+  for (std::size_t t = 0; t < kSlices; ++t) {
+    va[t] = 5.0 + 2.0 * std::sin(0.1 * static_cast<double>(t)) +
+            rng.normal(0.0, 0.2) + (t + 10 >= kSlices ? 8.0 : 0.0);
+    vb[t] = slope * va[t] + rng.normal(0.0, 0.3);
+    vc[t] = 1.5 * vb[t] + rng.normal(0.0, 0.3);
+  }
+  db.metrics().put(a, load, va);
+  db.metrics().put(b, load, vb);
+  db.metrics().put(c, load, vc);
+  return c;
+}
+
+}  // namespace
+
+TEST(FactorCache, SameStorageDbWithEqualVersionIsNotAnAbaHit) {
+  // The classic ABA: db1 is diagnosed (warming the BatchDiagnoser's
+  // persistent factor cache), destroyed, and db2 is constructed at the SAME
+  // storage with the same structure — so the address matches and
+  // data_version coincides — but different metric values. An address-based
+  // fingerprint would serve db1's stale factors for db2; the process-unique
+  // db uid must force a retrain instead.
+  BatchOptions bopts;
+  bopts.murphy.sampler.num_samples = 40;
+  bopts.murphy.num_threads = 1;
+  BatchDiagnoser batch(bopts);
+
+  alignas(telemetry::MonitoringDb) unsigned char
+      storage[sizeof(telemetry::MonitoringDb)];
+  auto* db1 = new (storage) telemetry::MonitoringDb();
+  const EntityId symptom1 = fill_chain_db(*db1, 2.0);
+  const std::vector<Symptom> symptoms{Symptom{symptom1, "cpu_util", 0.0, 5.0}};
+  (void)batch.diagnose_symptoms(*db1, symptoms, 99, 0, 100);
+  const std::uint64_t version1 = db1->data_version();
+  db1->~MonitoringDb();
+
+  auto* db2 = new (storage) telemetry::MonitoringDb();
+  const EntityId symptom2 = fill_chain_db(*db2, -1.5);
+  ASSERT_EQ(symptom2, symptom1);
+  // The ABA preconditions hold: same storage, coincidentally equal version.
+  ASSERT_EQ(db2->data_version(), version1);
+
+  const auto possibly_stale =
+      batch.diagnose_symptoms(*db2, symptoms, 99, 0, 100);
+  BatchDiagnoser cold(bopts);  // no cache to poison: the ground truth
+  const auto expected = cold.diagnose_symptoms(*db2, symptoms, 99, 0, 100);
+
+  ASSERT_EQ(possibly_stale.merged.size(), expected.merged.size());
+  for (std::size_t i = 0; i < expected.merged.size(); ++i) {
+    EXPECT_EQ(possibly_stale.merged[i].entity, expected.merged[i].entity);
+    EXPECT_EQ(possibly_stale.merged[i].score, expected.merged[i].score);
+  }
+  db2->~MonitoringDb();
 }
 
 }  // namespace

@@ -123,6 +123,104 @@ TEST(CsvImport, MissingFilesReportedGracefully) {
   EXPECT_FALSE(error.message.empty());
 }
 
+// ---------- telemetry-defect semantics at import (DESIGN.md §8) -----------
+
+TEST(CsvImport, DuplicatedAndOutOfOrderRowsHaveDefinedSemantics) {
+  std::stringstream entities("entity_id,type,name,app\n0,vm,a,\n");
+  std::stringstream assocs("entity_a,entity_b,kind,directed\n");
+  // Rows deliberately shuffled and colliding: slice 2 arrives first (so
+  // slices 0 and 1 are out-of-order), slice 1 arrives twice (last write
+  // must win), and slice 3 carries a non-finite value.
+  std::stringstream metrics(
+      "entity_id,metric,slice,value,valid\n"
+      "0,cpu_util,2,30.0,1\n"
+      "0,cpu_util,0,10.0,1\n"
+      "0,cpu_util,1,99.0,1\n"
+      "0,cpu_util,1,20.0,1\n"
+      "0,cpu_util,3,nan,1\n");
+  telemetry::ImportError error;
+  const auto imported =
+      telemetry::import_csv(entities, assocs, metrics, 1.0, &error);
+  ASSERT_TRUE(imported.has_value()) << error.message;
+  EXPECT_EQ(imported->out_of_order_rows, 2u);  // slices 0 and 1 after 2
+  EXPECT_EQ(imported->duplicate_rows, 1u);     // second write to slice 1
+  EXPECT_EQ(imported->nonfinite_values, 1u);
+
+  const auto& db = imported->db;
+  const auto vm = db.find_entity("a");
+  const auto cpu = db.catalog().find("cpu_util");
+  const auto* ts = db.metrics().find(vm, cpu);
+  ASSERT_NE(ts, nullptr);
+  ASSERT_EQ(ts->size(), 4u);
+  // Sorted on the slice index regardless of file order...
+  EXPECT_DOUBLE_EQ(ts->value(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts->value(1), 20.0);  // ...and last-write-wins
+  EXPECT_DOUBLE_EQ(ts->value(2), 30.0);
+  // The non-finite row was ingested and dropped to missing by put().
+  EXPECT_FALSE(ts->is_valid(3));
+  EXPECT_TRUE(ts->is_valid(0));
+}
+
+TEST(CsvImport, DefectiveImportRoundTripsThroughExportConverged) {
+  // After one import the defects are resolved (sorted, deduplicated,
+  // non-finite dropped to missing), so export -> import must converge: the
+  // second pass sees zero defects and reproduces the series exactly.
+  std::stringstream entities("entity_id,type,name,app\n0,vm,a,\n");
+  std::stringstream assocs("entity_a,entity_b,kind,directed\n");
+  std::stringstream metrics(
+      "entity_id,metric,slice,value,valid\n"
+      "0,cpu_util,1,5.5,1\n"
+      "0,cpu_util,0,1.25,1\n"
+      "0,cpu_util,0,2.5,1\n"
+      "0,cpu_util,2,inf,1\n");
+  const auto first = telemetry::import_csv(entities, assocs, metrics, 1.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GT(first->out_of_order_rows + first->duplicate_rows +
+                first->nonfinite_values,
+            0u);
+
+  std::stringstream e2, a2, m2;
+  telemetry::export_entities_csv(first->db, e2);
+  telemetry::export_associations_csv(first->db, a2);
+  telemetry::export_metrics_csv(first->db, m2);
+  const auto second = telemetry::import_csv(e2, a2, m2, 1.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->out_of_order_rows, 0u);
+  EXPECT_EQ(second->duplicate_rows, 0u);
+
+  const auto vm1 = first->db.find_entity("a");
+  const auto vm2 = second->db.find_entity("a");
+  const auto cpu1 = first->db.catalog().find("cpu_util");
+  const auto cpu2 = second->db.catalog().find("cpu_util");
+  const auto* ts1 = first->db.metrics().find(vm1, cpu1);
+  const auto* ts2 = second->db.metrics().find(vm2, cpu2);
+  ASSERT_NE(ts1, nullptr);
+  ASSERT_NE(ts2, nullptr);
+  ASSERT_EQ(ts1->size(), ts2->size());
+  for (TimeIndex t = 0; t < ts1->size(); ++t) {
+    EXPECT_EQ(ts1->is_valid(t), ts2->is_valid(t)) << "slice " << t;
+    if (ts1->is_valid(t))
+      EXPECT_DOUBLE_EQ(ts1->value(t), ts2->value(t)) << "slice " << t;
+  }
+}
+
+TEST(CsvImport, DataVersionReflectsImportedSeries) {
+  // One data_version bump per series put — defects collapse before ingest
+  // and never produce phantom versions a cache could key on.
+  std::stringstream entities("entity_id,type,name,app\n0,vm,a,\n1,vm,b,\n");
+  std::stringstream assocs("entity_a,entity_b,kind,directed\n");
+  std::stringstream metrics(
+      "entity_id,metric,slice,value,valid\n"
+      "0,cpu_util,0,1.0,1\n"
+      "0,cpu_util,0,2.0,1\n"  // duplicate: same series, no extra put
+      "1,cpu_util,0,3.0,1\n");
+  const auto imported = telemetry::import_csv(entities, assocs, metrics, 1.0);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->series, 2u);
+  // Versions: 2 entity adds + set_axis + 2 series puts.
+  EXPECT_EQ(imported->db.data_version(), 5u);
+}
+
 // ---------- ascii charts --------------------------------------------------------
 
 TEST(AsciiChart, LineChartMarksExtremes) {

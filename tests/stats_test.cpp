@@ -1,6 +1,7 @@
 // Unit tests for the stats substrate: matrix kernels, summaries,
 // correlations, t-tests and the four predictor families.
 #include <cmath>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -178,6 +179,145 @@ TEST(TTest, DegenerateConstantSamples) {
   EXPECT_DOUBLE_EQ(welch_t_test(a, b).p_less, 0.0);
   EXPECT_DOUBLE_EQ(welch_t_test(b, a).p_less, 1.0);
   EXPECT_DOUBLE_EQ(welch_t_test(a, a).p_two_sided, 1.0);
+}
+
+TEST(TTest, TinySamplesGiveNeutralFiniteResult) {
+  // n < 2 on either side is defined (no UB, no assert): the evidence-free
+  // verdict — neutral p = 0.5, so a degenerate sample can never implicate.
+  const std::vector<double> empty;
+  const std::vector<double> one{3.0};
+  const std::vector<double> many{1.0, 2.0, 3.0, 4.0};
+  for (const auto* x : {&empty, &one}) {
+    for (const auto* y : {&empty, &one, &many}) {
+      const auto r = welch_t_test(*x, *y);
+      EXPECT_TRUE(std::isfinite(r.t));
+      EXPECT_DOUBLE_EQ(r.t, 0.0);
+      EXPECT_DOUBLE_EQ(r.p_less, 0.5);
+      EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+    }
+  }
+  const auto r = welch_t_test(many, one);
+  EXPECT_DOUBLE_EQ(r.p_less, 0.5);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(TTest, NonFiniteSamplesGiveNeutralFiniteResult) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> clean{1.0, 2.0, 3.0};
+  for (const double poison : {nan, inf, -inf}) {
+    const std::vector<double> bad{1.0, poison, 3.0};
+    for (const auto& [x, y] : {std::pair{bad, clean}, std::pair{clean, bad},
+                               std::pair{bad, bad}}) {
+      const auto r = welch_t_test(x, y);
+      EXPECT_TRUE(std::isfinite(r.t));
+      EXPECT_TRUE(std::isfinite(r.dof));
+      EXPECT_DOUBLE_EQ(r.p_less, 0.5);
+      EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+    }
+  }
+}
+
+TEST(Correlation, RelativeToleranceKeepsTinyScaleSignal) {
+  // Legitimately tiny-scale metrics (nanosecond fractions, error rates):
+  // variance is far below the old absolute 1e-15 epsilon, but the columns
+  // carry a real, perfect linear relationship. The scale-aware tolerance
+  // must keep the signal instead of misclassifying the columns as constant.
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(1e-9 + 1e-11 * i);
+    y.push_back(3e-9 + 2e-11 * i);
+  }
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-9);
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-9);
+}
+
+TEST(Correlation, RelativeToleranceRejectsHugeScaleJitter) {
+  // A huge-scale column that is constant up to ~1-ulp rounding jitter: its
+  // absolute variance dwarfs 1e-15, so the old epsilon declared it
+  // informative and correlations against it were rounding noise in [-1, 1].
+  // Relative to the scale it is constant, so it must read as 0.
+  const double base = 1.5e9;
+  const double ulp = 2.220446049250313e-16;  // 2^-52
+  std::vector<double> jitter, ramp;
+  for (int i = 0; i < 60; ++i) {
+    jitter.push_back(base * (1.0 + (i % 3 == 0 ? ulp : 0.0)));
+    ramp.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(pearson(jitter, ramp), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(ramp, jitter), 0.0);
+}
+
+TEST(Correlation, NonFiniteInputsGiveZeroNotNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> clean{1.0, 2.0, 3.0, 4.0};
+  for (const double poison : {nan, inf, -inf}) {
+    const std::vector<double> bad{1.0, poison, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(pearson(bad, clean), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(clean, bad), 0.0);
+    // spearman sorts; a NaN would break strict weak ordering without the
+    // rank-path sanitization — must return a finite correlation.
+    EXPECT_TRUE(std::isfinite(spearman(bad, clean)));
+    EXPECT_TRUE(std::isfinite(abnormality_correlation(bad, clean)));
+  }
+}
+
+TEST(Correlation, CenteredKernelMatchesPearsonInBothToleranceRegimes) {
+  // The cached kernel must make the exact same constancy decision as
+  // pearson() at tiny and huge scales — the bit-identity contract.
+  std::vector<double> tiny_x, tiny_y, huge_jitter, ramp;
+  for (int i = 0; i < 50; ++i) {
+    tiny_x.push_back(1e-9 + 1e-11 * i);
+    tiny_y.push_back(3e-9 + 2e-11 * i);
+    huge_jitter.push_back(1.5e9 *
+                          (1.0 + (i % 3 == 0 ? 2.220446049250313e-16 : 0.0)));
+    ramp.push_back(static_cast<double>(i));
+  }
+  const auto check = [](const std::vector<double>& x,
+                        const std::vector<double>& y) {
+    const ColumnMoments mx = build_column_moments(x);
+    const ColumnMoments my = build_column_moments(y);
+    EXPECT_EQ(pearson_centered(mx.centered, mx.sxx, mx.mean, my.centered,
+                               my.sxx, my.mean),
+              pearson(x, y));
+  };
+  check(tiny_x, tiny_y);
+  check(huge_jitter, ramp);
+  check(ramp, huge_jitter);
+}
+
+TEST(WindowStatsHardening, NonFiniteValuesDegradeToMissingFallback) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const ColumnMoments m =
+      build_column_moments({1.0, nan, 3.0, std::numeric_limits<double>::infinity()});
+  // The poisoned slices read as 0.0 (the missing-value fallback), so every
+  // moment is finite and matches the sanitized column.
+  const std::vector<double> sanitized{1.0, 0.0, 3.0, 0.0};
+  EXPECT_EQ(m.values, sanitized);
+  EXPECT_EQ(m.mean, mean(sanitized));
+  EXPECT_TRUE(std::isfinite(m.sxx));
+  EXPECT_TRUE(std::isfinite(m.sigma));
+}
+
+TEST(RidgeHardening, NonFiniteCellsDegradeInsteadOfPoisoningFit) {
+  // One NaN design cell and one Inf target: the fit must stay finite and
+  // match the fit over the 0.0-sanitized copy bit for bit.
+  Matrix x(4, 1), xs(4, 1);
+  Vector y{1.0, 2.0, std::numeric_limits<double>::infinity(), 4.0};
+  Vector ys{1.0, 2.0, 0.0, 4.0};
+  const double vals[4] = {1.0, 2.0, 3.0, 4.0};
+  for (std::size_t i = 0; i < 4; ++i) x.at(i, 0) = xs.at(i, 0) = vals[i];
+  x.at(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  xs.at(1, 0) = 0.0;
+
+  RidgeRegression poisoned(0.1), sanitized(0.1);
+  poisoned.fit(x, y);
+  sanitized.fit(xs, ys);
+  const std::vector<double> probe{2.5};
+  EXPECT_TRUE(std::isfinite(poisoned.predict(probe)));
+  EXPECT_EQ(poisoned.predict(probe), sanitized.predict(probe));
+  EXPECT_EQ(poisoned.residual_sigma(), sanitized.residual_sigma());
 }
 
 // Shared fixture: y = 2*x0 - 3*x1 + 5 + noise.
@@ -471,7 +611,8 @@ TEST(WindowStats, ColumnMomentsReproduceSummariesBitwise) {
   // EXPECT_EQ on double demands exact (bitwise for non-NaN) equality.
   EXPECT_EQ(mx.mean, mean(x));
   EXPECT_EQ(mx.sigma, stddev(x));
-  EXPECT_EQ(pearson_centered(mx.centered, mx.sxx, my.centered, my.sxx),
+  EXPECT_EQ(pearson_centered(mx.centered, mx.sxx, mx.mean, my.centered,
+                             my.sxx, my.mean),
             pearson(x, y));
 }
 
@@ -481,8 +622,8 @@ TEST(WindowStats, DegenerateColumnsMatchUncachedConventions) {
   const ColumnMoments flat = build_column_moments({3.0, 3.0, 3.0});
   const ColumnMoments ramp = build_column_moments({1.0, 2.0, 3.0});
   // Constant column: pearson() returns 0, and so must the kernel.
-  EXPECT_EQ(pearson_centered(flat.centered, flat.sxx, ramp.centered,
-                             ramp.sxx),
+  EXPECT_EQ(pearson_centered(flat.centered, flat.sxx, flat.mean,
+                             ramp.centered, ramp.sxx, ramp.mean),
             0.0);
 }
 
@@ -492,13 +633,13 @@ TEST(WindowStats, RankAndAbnormalityKernelsMatchUncached) {
   ws.reset(1);
   const ColumnMoments& mx = ws.with_ranks(1, [&] { return x; });
   const ColumnMoments& my = ws.with_ranks(2, [&] { return y; });
-  EXPECT_EQ(pearson_centered(mx.rank_centered, mx.rank_sxx, my.rank_centered,
-                             my.rank_sxx),
+  EXPECT_EQ(pearson_centered(mx.rank_centered, mx.rank_sxx, mx.rank_mean,
+                             my.rank_centered, my.rank_sxx, my.rank_mean),
             spearman(x, y));
   const ColumnMoments& ax = ws.with_abnormality(1, [&] { return x; });
   const ColumnMoments& ay = ws.with_abnormality(2, [&] { return y; });
-  EXPECT_EQ(pearson_centered(ax.abn_centered, ax.abn_sxx, ay.abn_centered,
-                             ay.abn_sxx),
+  EXPECT_EQ(pearson_centered(ax.abn_centered, ax.abn_sxx, ax.abn_mean,
+                             ay.abn_centered, ay.abn_sxx, ay.abn_mean),
             abnormality_correlation(x, y));
 }
 

@@ -1,6 +1,10 @@
 // Unit tests for the telemetry substrate: catalog interning, time series
 // with validity masks, the MonitoringDb query surface and degradation ops.
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <new>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -201,6 +205,110 @@ TEST(MonitoringDb, DirectedAssociationIsRecorded) {
   db.add_association(a, b, RelationKind::kCallerCallee, /*directed=*/true);
   ASSERT_EQ(db.association_count(), 1u);
   EXPECT_TRUE(db.association(0).directed);
+}
+
+// ---------- telemetry-defect semantics (DESIGN.md §8) ----------------------
+
+TEST(TimeSeries, PutSanitizesNonFiniteToMissing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  MetricStore store(TimeAxis(0.0, 10.0, 4));
+  MetricCatalog cat;
+  const MetricKindId cpu = cat.intern("cpu_util");
+  const EntityId e{0};
+  store.put(e, cpu, {1.0, nan, inf, 4.0});
+  const TimeSeries* ts = store.find(e, cpu);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_TRUE(ts->is_valid(0));
+  EXPECT_FALSE(ts->is_valid(1));  // ingest marked the NaN slice missing
+  EXPECT_FALSE(ts->is_valid(2));  // and the Inf slice
+  EXPECT_TRUE(ts->is_valid(3));
+  // Finite slices are stored bit-for-bit unchanged.
+  EXPECT_DOUBLE_EQ(ts->value(0), 1.0);
+  EXPECT_DOUBLE_EQ(ts->value(3), 4.0);
+  // The trainers' window shape sees the documented fallback, never NaN.
+  const auto w = ts->window(0, 4, 0.0);
+  for (const double v : w) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(TimeSeries, ValueOrTreatsRawNonFiniteAsMissing) {
+  // set() / find_mutable() bypass ingest (a buggy collector writing in
+  // place); the read path must still degrade non-finite payloads to the
+  // fallback instead of returning NaN into a snapshot.
+  TimeSeries ts({1.0, 2.0, 3.0});
+  ts.set(1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(ts.is_valid(1));  // the validity bit is untouched...
+  EXPECT_DOUBLE_EQ(ts.value_or(1, -7.0), -7.0);  // ...but reads fall back
+  const auto w = ts.window(0, 3, 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  // The raw accessor still exposes the payload (for export round-trips).
+  EXPECT_TRUE(std::isnan(ts.value(1)));
+}
+
+TEST(TimeSeries, WindowIsTotalOnDegenerateRanges) {
+  TimeSeries ts({1.0, 2.0, 3.0});
+  EXPECT_TRUE(ts.window(2, 1, 0.0).empty());    // inverted -> empty
+  EXPECT_TRUE(ts.window(50, 40, 0.0).empty());  // inverted off-axis
+  const auto beyond = ts.window(2, 5, -1.0);    // end past the axis
+  ASSERT_EQ(beyond.size(), 3u);
+  EXPECT_DOUBLE_EQ(beyond[0], 3.0);
+  EXPECT_DOUBLE_EQ(beyond[1], -1.0);
+  EXPECT_DOUBLE_EQ(beyond[2], -1.0);
+}
+
+TEST(MonitoringDb, SelfLoopEdgesAreDroppedAtIngest) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  const std::uint64_t version = db.data_version();
+  db.add_association(a, a, RelationKind::kGeneric);
+  EXPECT_EQ(db.association_count(), 0u);
+  EXPECT_EQ(db.data_version(), version);  // a dropped edge is not a mutation
+  db.add_association(a, b, RelationKind::kGeneric);
+  EXPECT_EQ(db.association_count(), 1u);
+}
+
+TEST(MonitoringDb, OrphanEdgesAreDroppedAtIngest) {
+  MonitoringDb db;
+  const auto a = db.add_entity(EntityType::kVm, "a");
+  const auto b = db.add_entity(EntityType::kVm, "b");
+  const EntityId ghost{999};
+  db.add_association(a, ghost, RelationKind::kGeneric);
+  db.add_association(ghost, b, RelationKind::kGeneric);
+  EXPECT_EQ(db.association_count(), 0u);
+  // An edge to a REMOVED entity is equally orphaned.
+  db.remove_entity(b);
+  db.add_association(a, b, RelationKind::kGeneric);
+  EXPECT_EQ(db.association_count(), 0u);
+  EXPECT_TRUE(db.neighbors(a).empty());
+}
+
+TEST(MonitoringDb, UidIsProcessUniqueAcrossCopiesAndStorageReuse) {
+  MonitoringDb first;
+  const std::uint64_t uid_first = first.uid();
+  // Copies may diverge while their version counters coincide: a copy must
+  // carry its own identity.
+  const MonitoringDb copy = first;  // NOLINT(performance-unnecessary-copy)
+  EXPECT_NE(copy.uid(), uid_first);
+  // A move transfers the identity (the destination IS the same logical db)
+  // and re-keys the source, whose emptied state must not alias it.
+  MonitoringDb moved = std::move(first);
+  EXPECT_EQ(moved.uid(), uid_first);
+  EXPECT_NE(first.uid(), uid_first);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(MonitoringDb, UidDiffersForSequentialDbsAtTheSameStorage) {
+  // The ABA scenario the uid exists for: destroy a db, construct another at
+  // the same address. The address matches; the identity must not.
+  alignas(MonitoringDb) unsigned char storage[sizeof(MonitoringDb)];
+  auto* db1 = new (storage) MonitoringDb();
+  const std::uint64_t uid1 = db1->uid();
+  db1->~MonitoringDb();
+  auto* db2 = new (storage) MonitoringDb();
+  EXPECT_EQ(static_cast<void*>(db1), static_cast<void*>(db2));
+  EXPECT_NE(db2->uid(), uid1);
+  db2->~MonitoringDb();
 }
 
 }  // namespace
