@@ -1,0 +1,132 @@
+// Service throughput bench: concurrent diagnosis requests over streaming
+// ingestion (DESIGN.md §9).
+//
+// Drives the murphyd stack — TelemetryStream + DiagnosisService — with the
+// microservice interference scenario: the feed's incident tail is replayed
+// into the stream while batches of diagnosis requests (mixed priorities,
+// varying training windows) flow through the worker pool. Reported numbers:
+// end-to-end request latency p50/p99 (exact, over the collected responses)
+// and sustained req/s, plus the service's own latency histograms in the
+// JSON snapshot. There is no paper figure for this — the paper's engine is
+// offline — so the bench documents the service's engineering envelope.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/emulation/scenarios.h"
+#include "src/service/diagnosis_service.h"
+#include "src/service/feed.h"
+#include "src/service/telemetry_stream.h"
+
+using namespace murphy;
+
+namespace {
+
+double exact_quantile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Service throughput: concurrent diagnosis over streaming ingestion",
+      "engineering experiment (no paper figure) — the long-running service's "
+      "latency/throughput envelope");
+
+  emulation::InterferenceOptions sopts;
+  const auto scenario = make_interference_case(sopts);
+  const std::size_t total_slices = scenario.db.metrics().axis().size();
+  // Warm start just past the incident ramp; the tail streams in during the
+  // run, churning series epochs under the caches exactly as production would.
+  service::ReplayFeed feed = service::make_replay_feed(
+      scenario.db, scenario.incident_start + 20);
+  service::TelemetryStream stream(std::move(feed.warm));
+
+  service::DiagnosisServiceOptions svc_opts;
+  svc_opts.num_workers = std::clamp<std::size_t>(resolve_num_threads(0), 2, 4);
+  svc_opts.max_queue = 1024;  // throughput run: admission never rejects
+  svc_opts.murphy.num_threads = 1;
+  svc_opts.murphy.sampler.num_samples = bench::full_scale() ? 500 : 150;
+  svc_opts.murphy.obs.metrics = &obs::global_metrics();
+  service::DiagnosisService svc(stream, svc_opts);
+
+  const std::size_t requests = bench::scaled(120, 600);
+  std::printf("%zu requests, %zu workers, %zu feed slices streaming in\n\n",
+              requests, svc_opts.num_workers, feed.batches.size());
+
+  std::atomic<bool> done{false};
+  std::thread ingester([&] {
+    // One slice every few ms until the feed is dry; maintain() bounds the
+    // epoch-keyed caches under the exclusive lock.
+    std::size_t next = 0;
+    while (!done.load() && next < feed.batches.size()) {
+      service::replay_slice(stream, feed, next++);
+      svc.maintain();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::future<service::ServiceResponse>> futures;
+  futures.reserve(requests);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    service::ServiceRequest req;
+    req.symptom_entity = scenario.symptom_entity;
+    req.symptom_metric = scenario.symptom_metric;
+    const std::size_t slices = stream.slice_count();
+    req.now = slices - 1;
+    req.train_begin = i % 3;  // three window variants share cache entries
+    req.train_end = slices;
+    req.priority = static_cast<int>(i % 2);
+    futures.push_back(svc.submit(std::move(req)));
+    if ((i + 1) % svc_opts.num_workers == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<double> total_ms;
+  std::size_t ok = 0, rejected = 0, other = 0;
+  for (auto& f : futures) {
+    const service::ServiceResponse resp = f.get();
+    if (resp.status == service::RequestStatus::kOk) {
+      ++ok;
+      total_ms.push_back(resp.queue_ms + resp.run_ms);
+    } else if (resp.status == service::RequestStatus::kRejectedQueueFull) {
+      ++rejected;
+    } else {
+      ++other;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  done.store(true);
+  ingester.join();
+  svc.stop();
+
+  std::sort(total_ms.begin(), total_ms.end());
+  const double p50 = exact_quantile(total_ms, 0.50);
+  const double p99 = exact_quantile(total_ms, 0.99);
+  const double rps = static_cast<double>(ok) / wall_s;
+
+  std::printf("completed %zu  rejected %zu  other %zu  in %.2f s\n", ok,
+              rejected, other, wall_s);
+  std::printf("throughput : %8.1f req/s\n", rps);
+  std::printf("latency p50: %8.1f ms\n", p50);
+  std::printf("latency p99: %8.1f ms\n", p99);
+
+  auto& m = obs::global_metrics();
+  m.gauge("bench.req_per_s")->set(rps);
+  m.gauge("bench.p50_ms")->set(p50);
+  m.gauge("bench.p99_ms")->set(p99);
+  m.gauge("bench.completed")->set(static_cast<double>(ok));
+  bench::write_bench_json("service_throughput");
+  return 0;
+}

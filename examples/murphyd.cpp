@@ -1,0 +1,289 @@
+// murphyd — the diagnosis engine as a long-running service (DESIGN.md §9).
+//
+// Demonstrates the src/service stack end to end: a TelemetryStream fed by a
+// replayed telemetry feed (CSV import or the built-in interference
+// scenario), a DiagnosisService answering requests concurrently with
+// ingestion, and snapshot save/restore for warm restarts. Commands arrive
+// as lines on stdin, one response line (OK .../ERR ...) per command:
+//
+//   DIAGNOSE <entity> <metric> [max_hops] [deadline_ms]
+//   INGEST <entity> <metric> <slice> <value>
+//   REPLAY <n>            replay the next n feed slices into the stream
+//   EXTEND <n>            grow the time axis by n empty slices
+//   SNAPSHOT <path>       save a consistent snapshot (diagnoses keep running)
+//   STATS                 queue depth, db version, latency p50/p99, counters
+//   QUIT
+//
+// Usage:
+//   murphyd                               # built-in microservice scenario
+//   murphyd --csv PREFIX --interval 10    # csv_export dataset
+//   murphyd --snapshot FILE               # resume from a snapshot
+//   common: --split F (warm fraction, default 0.75) --workers N --queue N
+//           --replay-ms M (auto-replay one slice every M ms)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/emulation/scenarios.h"
+#include "src/obs/metrics.h"
+#include "src/service/diagnosis_service.h"
+#include "src/service/feed.h"
+#include "src/service/telemetry_stream.h"
+#include "src/telemetry/csv_import.h"
+#include "src/telemetry/snapshot.h"
+
+using namespace murphy;
+
+namespace {
+
+struct Args {
+  std::string csv_prefix;
+  double interval = 10.0;
+  std::string snapshot;
+  double split = 0.75;
+  std::size_t workers = 2;
+  std::size_t queue = 64;
+  long replay_ms = 0;  // 0 = manual REPLAY only
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--csv") {
+      a.csv_prefix = next();
+    } else if (flag == "--interval") {
+      a.interval = std::stod(next());
+    } else if (flag == "--snapshot") {
+      a.snapshot = next();
+    } else if (flag == "--split") {
+      a.split = std::stod(next());
+    } else if (flag == "--workers") {
+      a.workers = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--queue") {
+      a.queue = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--replay-ms") {
+      a.replay_ms = std::stol(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // --- source db: snapshot, CSV dataset, or the built-in scenario ----------
+  telemetry::MonitoringDb source;
+  if (!args.snapshot.empty()) {
+    telemetry::SnapshotError err;
+    auto loaded = telemetry::load_snapshot_file(args.snapshot, &err);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "snapshot load failed: %s\n", err.message.c_str());
+      return 1;
+    }
+    source = std::move(*loaded);
+  } else if (!args.csv_prefix.empty()) {
+    telemetry::ImportError err;
+    auto imported =
+        telemetry::import_csv_files(args.csv_prefix, args.interval, &err);
+    if (!imported.has_value()) {
+      std::fprintf(stderr, "csv import failed (line %zu): %s\n", err.line,
+                   err.message.c_str());
+      return 1;
+    }
+    source = std::move(imported->db);
+  } else {
+    emulation::InterferenceOptions sopts;
+    source = std::move(make_interference_case(sopts).db);
+  }
+
+  // --- split into warm prefix + replayable tail -----------------------------
+  const std::size_t total = source.metrics().axis().size();
+  const auto split =
+      static_cast<TimeIndex>(args.split * static_cast<double>(total));
+  service::ReplayFeed feed = service::make_replay_feed(source, split);
+  service::TelemetryStream stream(std::move(feed.warm));
+
+  service::DiagnosisServiceOptions sopts;
+  sopts.num_workers = args.workers;
+  sopts.max_queue = args.queue;
+  sopts.murphy.num_threads = 1;  // concurrency comes from the worker pool
+  sopts.murphy.obs.metrics = &obs::global_metrics();
+  service::DiagnosisService svc(stream, sopts);
+
+  std::atomic<std::size_t> replayed{0};
+  std::atomic<bool> quitting{false};
+
+  // One mutex serializes replay (REPLAY verb vs the auto-replay thread);
+  // the stream itself is what makes replay safe against diagnoses.
+  std::mutex replay_mu;
+  auto replay_n = [&](std::size_t n) {
+    std::lock_guard<std::mutex> lock(replay_mu);
+    std::size_t cells = 0;
+    while (n-- > 0 && replayed.load() < feed.batches.size()) {
+      cells += service::replay_slice(stream, feed, replayed.load());
+      replayed.fetch_add(1);
+    }
+    svc.maintain();
+    return cells;
+  };
+
+  std::thread auto_replay;
+  if (args.replay_ms > 0) {
+    auto_replay = std::thread([&] {
+      while (!quitting.load() && replayed.load() < feed.batches.size()) {
+        replay_n(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(args.replay_ms));
+      }
+    });
+  }
+
+  std::fprintf(stderr,
+               "murphyd: %zu entities, %zu warm slices, %zu feed slices, %zu "
+               "workers\n",
+               stream.read()->entity_count(), split, feed.batches.size(),
+               args.workers);
+
+  // --- command loop ---------------------------------------------------------
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) continue;
+
+    if (verb == "QUIT") {
+      std::printf("OK bye\n");
+      break;
+    } else if (verb == "STATS") {
+      const obs::MetricsRegistry& m = obs::global_metrics();
+      const obs::Histogram* h = m.find_histogram("service.total_ms");
+      const auto cnt = [&](const char* name) {
+        const obs::Counter* c = m.find_counter(name);
+        return c == nullptr ? 0ULL : c->value();
+      };
+      std::printf(
+          "OK slices=%zu version=%llu queue=%zu replayed=%zu completed=%llu "
+          "rejected=%llu deadline_exceeded=%llu p50_ms=%.1f p99_ms=%.1f\n",
+          stream.slice_count(),
+          static_cast<unsigned long long>(stream.data_version()),
+          svc.queue_depth(), replayed.load(),
+          static_cast<unsigned long long>(cnt("service.completed")),
+          static_cast<unsigned long long>(cnt("service.rejected")),
+          static_cast<unsigned long long>(cnt("service.deadline_exceeded")),
+          h == nullptr ? 0.0 : h->quantile(0.5),
+          h == nullptr ? 0.0 : h->quantile(0.99));
+    } else if (verb == "REPLAY") {
+      std::size_t n = 1;
+      in >> n;
+      const std::size_t cells = replay_n(n);
+      std::printf("OK replayed_to=%zu cells=%zu\n", replayed.load(), cells);
+    } else if (verb == "EXTEND") {
+      std::size_t n = 1;
+      in >> n;
+      stream.extend_axis(n);
+      std::printf("OK slices=%zu\n", stream.slice_count());
+    } else if (verb == "INGEST") {
+      std::string entity, metric;
+      TimeIndex t = 0;
+      double value = 0.0;
+      if (!(in >> entity >> metric >> t >> value)) {
+        std::printf("ERR usage: INGEST <entity> <metric> <slice> <value>\n");
+        continue;
+      }
+      const EntityId id = stream.read()->find_entity(entity);
+      if (!id.valid()) {
+        std::printf("ERR unknown entity %s\n", entity.c_str());
+        continue;
+      }
+      std::printf(stream.append_cell(id, metric, t, value)
+                      ? "OK\n"
+                      : "ERR cell dropped (slice out of axis?)\n");
+    } else if (verb == "SNAPSHOT") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("ERR usage: SNAPSHOT <path>\n");
+        continue;
+      }
+      std::printf(stream.save_snapshot(path) ? "OK %s\n" : "ERR write %s\n",
+                  path.c_str());
+    } else if (verb == "DIAGNOSE") {
+      std::string entity, metric;
+      if (!(in >> entity >> metric)) {
+        std::printf(
+            "ERR usage: DIAGNOSE <entity> <metric> [hops] [deadline_ms]\n");
+        continue;
+      }
+      service::ServiceRequest req;
+      req.max_hops = 4;
+      long deadline_ms = 0;
+      in >> req.max_hops >> deadline_ms;
+      {
+        const auto db = stream.read();
+        req.symptom_entity = db->find_entity(entity);
+        const std::size_t slices = db->metrics().axis().size();
+        if (slices == 0) {
+          std::printf("ERR empty axis\n");
+          continue;
+        }
+        req.now = slices - 1;
+        req.train_begin = 0;
+        req.train_end = slices;  // online training includes `now`
+      }
+      if (!req.symptom_entity.valid()) {
+        std::printf("ERR unknown entity %s\n", entity.c_str());
+        continue;
+      }
+      req.symptom_metric = metric;
+      if (deadline_ms > 0)
+        req.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms);
+      auto fut = svc.submit(std::move(req));
+      const service::ServiceResponse resp = fut.get();
+      if (resp.status != service::RequestStatus::kOk) {
+        std::printf("ERR %s (queue %.1fms run %.1fms)\n",
+                    std::string(to_string(resp.status)).c_str(), resp.queue_ms,
+                    resp.run_ms);
+        continue;
+      }
+      std::ostringstream out;
+      out << "OK id=" << resp.request_id << " version=" << resp.db_version
+          << " run_ms=" << resp.run_ms;
+      const auto db = stream.read();
+      const std::size_t top =
+          std::min<std::size_t>(resp.result.causes.size(), 5);
+      for (std::size_t i = 0; i < top; ++i) {
+        const auto& c = resp.result.causes[i];
+        out << " " << (i + 1) << ":"
+            << (db->has_entity(c.entity) ? db->entity(c.entity).name
+                                         : "<gone>");
+      }
+      std::printf("%s\n", out.str().c_str());
+    } else {
+      std::printf("ERR unknown verb %s\n", verb.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  quitting.store(true);
+  if (auto_replay.joinable()) auto_replay.join();
+  svc.stop();
+  return 0;
+}

@@ -45,13 +45,31 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-    if (stop_) return;
-    seen_epoch = epoch_;
+    work_cv_.wait(lock, [&] {
+      return stop_ || epoch_ != seen_epoch || !tasks_.empty();
+    });
+    if (stop_) return;  // queued tasks_ are abandoned here by contract
+    if (epoch_ != seen_epoch) {
+      // parallel_for batches outrank queued tasks.
+      seen_epoch = epoch_;
+      lock.unlock();
+      run_iterations();
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_one();
+      continue;
+    }
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++tasks_running_;
     lock.unlock();
-    run_iterations();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> elock(mu_);
+      if (!task_error_) task_error_ = std::current_exception();
+    }
     lock.lock();
-    if (--pending_ == 0) done_cv_.notify_one();
+    if (--tasks_running_ == 0 && tasks_.empty()) drain_cv_.notify_all();
   }
 }
 
@@ -78,6 +96,35 @@ void ThreadPool::parallel_for(std::size_t n,
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline execution mirrors parallel_for's zero-worker contract; the
+    // exception still surfaces at drain() so callers see one error policy.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!task_error_) task_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return tasks_.empty() && tasks_running_ == 0; });
+  if (task_error_) {
+    std::exception_ptr e = task_error_;
+    task_error_ = nullptr;
     std::rethrow_exception(e);
   }
 }

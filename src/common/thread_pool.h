@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -30,8 +31,14 @@ namespace murphy {
 class ThreadPool {
  public:
   // Spawns `num_workers` persistent worker threads. Zero is legal: every
-  // parallel_for then runs inline on the calling thread.
+  // parallel_for then runs inline on the calling thread, and submit()
+  // executes each task inline too.
   explicit ThreadPool(std::size_t num_workers);
+  // Joins the workers. Tasks still QUEUED at destruction are abandoned —
+  // destroyed unexecuted — while tasks already in flight on a worker run to
+  // completion (join waits for them). Call drain() first when every queued
+  // task must finish; the split lets an aborting owner tear the pool down
+  // without paying for a backlog it no longer wants.
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -44,14 +51,33 @@ class ThreadPool {
   // rethrown here after the loop drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  // Task mode, the diagnosis service's execution substrate (DESIGN.md §9).
+  // submit() enqueues one closure for any idle worker and returns
+  // immediately; tasks run FIFO whenever no parallel_for batch is active
+  // (batches take priority — a worker mid-task finishes it first, so a batch
+  // may wait for in-flight tasks). With zero workers the task runs inline
+  // before submit() returns. A task has no call site to rethrow at, so the
+  // first exception any task throws is stashed and rethrown by the next
+  // drain(); service closures are expected to catch their own.
+  void submit(std::function<void()> task);
+
+  // Blocks until the task queue is empty AND no task is in flight, then
+  // rethrows the first task exception since the last drain (if any).
+  // Completes queued work — the counterpart of the destructor's abandonment.
+  // Must not be called from inside a task (the task can never finish while
+  // its thread waits) and gives no completeness guarantee for tasks
+  // submitted concurrently with the wait.
+  void drain();
+
  private:
   void worker_loop();
   void run_iterations();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable work_cv_;   // workers wait for a batch or task
   std::condition_variable done_cv_;   // caller waits for batch completion
+  std::condition_variable drain_cv_;  // drain() waits for task quiescence
   const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mu_
   std::size_t n_ = 0;                 // guarded by mu_ (stable during batch)
   std::atomic<std::size_t> next_{0};  // next unclaimed iteration index
@@ -59,6 +85,9 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;           // batch counter, guarded by mu_
   bool stop_ = false;
   std::exception_ptr error_;          // first iteration failure, guarded by mu_
+  std::deque<std::function<void()>> tasks_;  // guarded by mu_
+  std::size_t tasks_running_ = 0;     // tasks in flight, guarded by mu_
+  std::exception_ptr task_error_;     // first task failure, guarded by mu_
 };
 
 // One-shot convenience: runs body(i) for i in [0, n) on `num_threads`

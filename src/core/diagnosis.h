@@ -77,6 +77,12 @@ struct DiagnosisResult {
   // it is deterministic — see src/obs/audit.h.
   obs::DiagnosisAudit audit;
 
+  // True when the diagnosis was abandoned at a phase boundary by the
+  // cooperative cancellation hook (MurphyOptions::cancel — the service's
+  // deadline enforcement). A cancelled result carries no causes; consumers
+  // must check this before trusting an empty ranking to mean "healthy".
+  bool cancelled = false;
+
   // Rank (1-based) of `entity`, or 0 when absent.
   [[nodiscard]] std::size_t rank_of(EntityId entity) const {
     for (std::size_t i = 0; i < causes.size(); ++i)

@@ -54,4 +54,9 @@ std::size_t FactorCache::size() const {
   return entries_.size();
 }
 
+void FactorCache::prune(std::size_t max_entries) {
+  std::unique_lock lock(mu_);
+  if (entries_.size() > max_entries) entries_.clear();
+}
+
 }  // namespace murphy::core

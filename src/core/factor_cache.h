@@ -78,6 +78,13 @@ class FactorCache {
   [[nodiscard]] std::uint64_t misses() const;
   [[nodiscard]] std::size_t size() const;
 
+  // Drops every entry (keeping the fingerprint) when the map holds more than
+  // `max_entries` — the size bound for epoch-keyed callers, whose stale
+  // entries are retired by key change rather than generation reset. Only
+  // safe when no CachedFactor reference from this cache is live (the service
+  // prunes under its exclusive db lock).
+  void prune(std::size_t max_entries);
+
  private:
   struct Entry {
     std::once_flag once;

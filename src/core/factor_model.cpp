@@ -65,9 +65,20 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
   if (opts.window_stats != nullptr) {
     for (VarIndex v = 0; v < space.size(); ++v) {
       const auto& var = space.var(v);
-      const std::uint64_t key =
+      std::uint64_t key =
           (static_cast<std::uint64_t>(var.entity.value()) << 32) |
           var.kind.value();
+      if (opts.epoch_keys) {
+        // A write to this series changes its epoch, hence the key: the stale
+        // column is simply never looked up again (see FactorTrainingOptions).
+        // The window rides in the key too — the service's generation
+        // fingerprint deliberately excludes it so concurrent requests with
+        // different windows can share one cache generation.
+        key = hash_mix(hash_mix(0xE90C4B11u, key),
+                       db.metrics().series_epoch(var.entity, var.kind));
+        key = hash_mix(key, (static_cast<std::uint64_t>(train_begin) << 32) |
+                                train_end);
+      }
       col[v] = &opts.window_stats->get_or_build(key, [&] {
         return space.history(db, v, train_begin, train_end);
       });
@@ -248,6 +259,27 @@ FactorSet::FactorSet(const telemetry::MonitoringDb& db,
         nbrs.push_back(graph.entity_of(nb).value());
       std::sort(nbrs.begin(), nbrs.end());
       for (const std::uint32_t e : nbrs) key = hash_mix(key, e);
+      if (opts.epoch_keys) {
+        // Fine-grained invalidation: the fit is a pure function of the
+        // target and candidate-feature histories, so mix the (kind, epoch)
+        // vector of every series the trainer may read — the target entity's
+        // and each sorted in-neighbor's metric kinds. A write to any of them
+        // (or a freshly appearing series) changes the key; everything else
+        // keeps hitting (see FactorTrainingOptions::epoch_keys).
+        const auto mix_entity_series = [&](std::uint32_t ev) {
+          const EntityId e(ev);
+          for (const MetricKindId k : db.metrics().kinds_of(e)) {
+            key = hash_mix(key, (static_cast<std::uint64_t>(ev) << 32) |
+                                    k.value());
+            key = hash_mix(key, db.metrics().series_epoch(e, k));
+          }
+        };
+        mix_entity_series(tvar.entity.value());
+        for (const std::uint32_t e : nbrs) mix_entity_series(e);
+        // Window in the key, not the generation fingerprint (see above).
+        key = hash_mix(key, (static_cast<std::uint64_t>(train_begin) << 32) |
+                                train_end);
+      }
 
       bool trained = false;
       // The cached trainer runs with tracing off: WHICH symptom pays the

@@ -121,6 +121,20 @@ struct FactorTrainingOptions {
   // options) before training — BatchDiagnoser does this per batch.
   stats::WindowStats* window_stats = nullptr;
   FactorCache* factor_cache = nullptr;
+  // Fine-grained cache invalidation for long-running callers (the diagnosis
+  // service, DESIGN.md §9). When set, per-series write epochs
+  // (MetricStore::series_epoch) are mixed into both cache keys: the
+  // WindowStats key covers the one series the column reads, the FactorCache
+  // key covers the target plus every candidate-feature series (the metric
+  // kinds of the target's entity and its sorted in-neighbor entities, so a
+  // freshly appearing series changes the key too), as is the train window
+  // (requests with different windows coexist within one generation). A
+  // streaming append then retires exactly the entries that read the touched
+  // series. The caller must pair this with a generation fingerprint over
+  // MonitoringDb::structural_data_version() — NOT data_version(), which
+  // would still invalidate everything — structural changes and erasures stay
+  // whole-cache resets.
+  bool epoch_keys = false;
 };
 
 // Flattened, allocation-free view of the trained conditionals, built once

@@ -52,6 +52,17 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
   }
   if (hooks.metrics != nullptr) hooks.metrics->counter("diagnose.calls")->add(1);
 
+  // Deadline enforcement polls only at phase boundaries: a phase always runs
+  // to completion, so a completed diagnosis is bit-identical with or without
+  // the hook, and a cancelled one is flagged rather than silently empty.
+  const auto cancelled_at_checkpoint = [&]() -> bool {
+    if (!opts_.cancel || !opts_.cancel()) return false;
+    result.cancelled = true;
+    if (hooks.metrics != nullptr)
+      hooks.metrics->counter("diagnose.cancelled")->add(1);
+    return true;
+  };
+
   // 1. Relationship graph from the symptom entity.
   obs::Span graph_span(hooks.tracer, "graph_build");
   const std::vector<EntityId> seeds{request.symptom_entity};
@@ -77,6 +88,11 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
     hooks.metrics->gauge("graph.vars")->set(static_cast<double>(space.size()));
   }
 
+  if (cancelled_at_checkpoint()) {
+    result.timings.total_ms = diag_span.finish();
+    return result;
+  }
+
   // 2. Online training on [train_begin, train_end).
   obs::Span train_span(hooks.tracer, "train_factors");
   FactorTrainingOptions topts = opts_.training;
@@ -89,6 +105,11 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
                           request.train_end, topts);
   result.timings.training_ms = train_span.finish();
   record_phase_ms(hooks.metrics, "training", result.timings.training_ms);
+
+  if (cancelled_at_checkpoint()) {
+    result.timings.total_ms = diag_span.finish();
+    return result;
+  }
 
   // 3. Candidate pruning.
   obs::Span search_span(hooks.tracer, "candidate_search");
@@ -105,6 +126,11 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
     search_span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
   result.timings.search_ms = search_span.finish();
   record_phase_ms(hooks.metrics, "search", result.timings.search_ms);
+
+  if (cancelled_at_checkpoint()) {
+    result.timings.total_ms = diag_span.finish();
+    return result;
+  }
 
   // 4. Counterfactual evaluation of each candidate. Candidates are
   // independent, so evaluate them in parallel; each gets its own RNG stream
@@ -210,6 +236,11 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
     if (v) accepted.push_back(*v);
   result.timings.inference_ms = infer_span.finish();
   record_phase_ms(hooks.metrics, "inference", result.timings.inference_ms);
+
+  if (cancelled_at_checkpoint()) {
+    result.timings.total_ms = diag_span.finish();
+    return result;
+  }
 
   // 5. Rank by anomaly score (most anomalous first).
   std::sort(accepted.begin(), accepted.end(),

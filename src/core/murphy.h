@@ -11,6 +11,7 @@
 //   6. explanation-chain generation via the label state machine (§4.3).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "src/core/anomaly.h"
@@ -42,6 +43,13 @@ struct MurphyOptions {
   // off by default — the null configuration adds only a handful of clock
   // reads per diagnosis.
   obs::ObsHooks obs;
+  // Cooperative cancellation (the service's deadline enforcement, DESIGN.md
+  // §9). When set, diagnose() polls it between phases; once it returns true
+  // the remaining phases are abandoned and the result comes back with
+  // `cancelled` set and no causes. Polling happens ONLY at phase boundaries,
+  // so a completed diagnosis is bit-identical whether or not a hook was
+  // attached — cancellation can stop work, never alter it.
+  std::function<bool()> cancel;
 };
 
 // Start of the "recent" configuration-change window reported alongside a

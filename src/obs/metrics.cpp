@@ -30,6 +30,23 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0 || bounds_.empty()) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 1.0);
+  // ceil(p * n) without float rounding surprises at the boundaries.
+  std::uint64_t target = static_cast<std::uint64_t>(clamped * static_cast<double>(n));
+  if (static_cast<double>(target) < clamped * static_cast<double>(n) ||
+      target == 0)
+    ++target;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= target) return bounds_[i];
+  }
+  return bounds_.back();  // overflow bucket: report the largest bound
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -69,6 +69,12 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   // bucket_counts()[i] pairs with bounds()[i]; the final entry is overflow.
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  // Upper-bound estimate of the p-quantile (p in [0, 1]) from the bucket
+  // counts: the bound of the first bucket whose cumulative count reaches
+  // p * count(). Resolution is the bucket width — good enough for the
+  // service's p50/p99 latency reporting, not for fine-grained percentiles.
+  // Observations past the last bound report the last bound. 0 when empty.
+  [[nodiscard]] double quantile(double p) const;
   void reset();
 
  private:

@@ -1,0 +1,83 @@
+#include "src/service/feed.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace murphy::service {
+
+ReplayFeed make_replay_feed(const telemetry::MonitoringDb& db,
+                            TimeIndex split) {
+  const telemetry::MetricStore& store = db.metrics();
+  const TimeAxis& axis = store.axis();
+  split = std::min<TimeIndex>(split, axis.size());
+
+  ReplayFeed feed;
+  feed.split = split;
+
+  // Apps first so entities can be added with their membership.
+  for (std::size_t i = 0; i < db.app_count(); ++i)
+    feed.warm.define_app(db.app(AppId(static_cast<std::uint32_t>(i))).name);
+
+  // Entity slots in id order; absent slots are reproduced (add + remove) so
+  // every surviving id matches the source db's.
+  for (std::size_t i = 0; i < db.entity_count(); ++i) {
+    const EntityId id(static_cast<std::uint32_t>(i));
+    if (!db.has_entity(id)) {
+      const EntityId placeholder = feed.warm.add_entity(
+          telemetry::EntityType::kVm, "__absent_" + std::to_string(i));
+      feed.warm.remove_entity(placeholder);
+      continue;
+    }
+    const telemetry::EntityInfo& info = db.entity(id);
+    feed.warm.add_entity(info.type, info.name, info.app);
+  }
+
+  for (std::size_t i = 0; i < db.association_count(); ++i) {
+    const telemetry::Association& a = db.association(i);
+    feed.warm.add_association(a.a, a.b, a.kind, a.directed);
+  }
+
+  // Catalog in id order, so MetricKindId values carry over.
+  for (std::size_t k = 0; k < db.catalog().size(); ++k)
+    feed.warm.catalog().intern(
+        db.catalog().name(MetricKindId(static_cast<std::uint32_t>(k))));
+
+  for (std::size_t e = 0; e < db.config_events().size(); ++e)
+    feed.warm.config_events().record(db.config_events().event(e));
+
+  feed.warm.metrics().set_axis(axis.slice(0, split));
+  feed.batches.resize(axis.size() - split);
+
+  for (std::size_t i = 0; i < db.entity_count(); ++i) {
+    const EntityId id(static_cast<std::uint32_t>(i));
+    if (!db.has_entity(id)) continue;
+    for (const MetricKindId kind : store.kinds_of(id)) {
+      const telemetry::TimeSeries* series = store.find(id, kind);
+      if (series == nullptr) continue;
+      // Warm history: values AND validity truncated at the split, so
+      // missing slices stay missing (put(TimeSeries) skips the non-finite
+      // sanitizer's counter noise a NaN round-trip would add).
+      std::vector<double> values(split);
+      std::vector<bool> valid(split);
+      for (TimeIndex t = 0; t < split; ++t) {
+        values[t] = series->value(t);
+        valid[t] = series->is_valid(t);
+      }
+      feed.warm.metrics().put(
+          id, kind, telemetry::TimeSeries(std::move(values), std::move(valid)));
+      for (TimeIndex t = split; t < series->size(); ++t)
+        if (series->is_valid(t))
+          feed.batches[t - split].push_back(
+              TelemetryCell{id, kind, t, series->value(t)});
+    }
+  }
+  return feed;
+}
+
+std::size_t replay_slice(TelemetryStream& stream, const ReplayFeed& feed,
+                         std::size_t i) {
+  stream.extend_axis(1);
+  return stream.append(feed.batches[i]);
+}
+
+}  // namespace murphy::service

@@ -1,0 +1,44 @@
+// Replayable telemetry feed: splits a fully populated MonitoringDb into a
+// warm prefix and a per-slice cell stream.
+//
+// The batch pipeline's generators (the microservice simulator, the
+// enterprise dataset) produce complete dbs; the service wants the same
+// scenarios as STREAMS — structure plus some history up front, then cells
+// arriving slice by slice while diagnoses run. make_replay_feed() does that
+// split: `warm` is a standalone db with identical entity/app/association/
+// catalog ids (so symptom handles and cells carry over unchanged), the axis
+// truncated to `split` slices and the metric history before the split;
+// `batches[i]` holds every valid cell of slice split + i. Replaying is
+// extend_axis(1) + append(batches[i]) per slice — exactly the murphyd
+// ingest loop, and what the soak test and throughput bench drive.
+#pragma once
+
+#include <vector>
+
+#include "src/common/time_axis.h"
+#include "src/service/telemetry_stream.h"
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::service {
+
+struct ReplayFeed {
+  telemetry::MonitoringDb warm;
+  // batches[i] = valid cells of slice split + i, in (entity, kind) series
+  // order. Cell time indices are full-axis (replay after extending the axis
+  // past them).
+  std::vector<std::vector<TelemetryCell>> batches;
+  TimeIndex split = 0;
+};
+
+// `split` is clamped to the source axis length. Entity ids in `warm` equal
+// the source's (absent slots are reproduced as absent), metric kind ids
+// match, config events are copied wholesale.
+[[nodiscard]] ReplayFeed make_replay_feed(const telemetry::MonitoringDb& db,
+                                          TimeIndex split);
+
+// Replays one slice: grows the stream's axis by one and appends batch `i`.
+// Returns the number of cells written.
+std::size_t replay_slice(TelemetryStream& stream, const ReplayFeed& feed,
+                         std::size_t i);
+
+}  // namespace murphy::service

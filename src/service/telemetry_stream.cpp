@@ -1,0 +1,89 @@
+#include "src/service/telemetry_stream.h"
+
+#include "src/obs/metrics.h"
+
+namespace murphy::service {
+
+TelemetryStream::TelemetryStream(telemetry::MonitoringDb db)
+    : db_(std::move(db)) {}
+
+TelemetryStream::ReadLock TelemetryStream::read() const {
+  return ReadLock(mu_, &db_);
+}
+
+TelemetryStream::WriteLock TelemetryStream::write() {
+  return WriteLock(mu_, &db_);
+}
+
+std::size_t TelemetryStream::append(std::span<const TelemetryCell> cells) {
+  std::size_t written = 0;
+  std::size_t unknown = 0;
+  std::size_t out_of_axis = 0;
+  {
+    std::unique_lock lock(mu_);
+    const std::size_t slices = db_.metrics().axis().size();
+    for (const TelemetryCell& c : cells) {
+      if (!db_.has_entity(c.entity)) {
+        ++unknown;
+        continue;
+      }
+      if (c.t >= slices) {
+        ++out_of_axis;
+        continue;
+      }
+      db_.metrics().upsert_cell(c.entity, c.kind, c.t, c.value);
+      ++written;
+    }
+  }
+  // Defect counters outside the lock — they are process-global atomics.
+  if (unknown > 0)
+    obs::global_metrics().counter("ingest.unknown_entity_dropped")
+        ->add(unknown);
+  if (out_of_axis > 0)
+    obs::global_metrics().counter("ingest.out_of_axis_dropped")
+        ->add(out_of_axis);
+  return written;
+}
+
+bool TelemetryStream::append_cell(EntityId entity, std::string_view metric,
+                                  TimeIndex t, double value) {
+  MetricKindId kind;
+  {
+    std::unique_lock lock(mu_);
+    kind = db_.catalog().intern(metric);
+  }
+  const TelemetryCell cell{entity, kind, t, value};
+  return append(std::span<const TelemetryCell>(&cell, 1)) == 1;
+}
+
+void TelemetryStream::extend_axis(std::size_t extra_slices) {
+  std::unique_lock lock(mu_);
+  db_.metrics().extend_axis(extra_slices);
+}
+
+std::size_t TelemetryStream::slice_count() const {
+  std::shared_lock lock(mu_);
+  return db_.metrics().axis().size();
+}
+
+std::uint64_t TelemetryStream::data_version() const {
+  std::shared_lock lock(mu_);
+  return db_.data_version();
+}
+
+bool TelemetryStream::save_snapshot(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  return telemetry::save_snapshot_file(db_, path);
+}
+
+bool TelemetryStream::restore_snapshot(const std::string& path,
+                                       telemetry::SnapshotError* error) {
+  // Parse outside the lock (the slow part), swap under it.
+  auto loaded = telemetry::load_snapshot_file(path, error);
+  if (!loaded.has_value()) return false;
+  std::unique_lock lock(mu_);
+  db_ = std::move(*loaded);
+  return true;
+}
+
+}  // namespace murphy::service

@@ -133,6 +133,16 @@ const ColumnMoments& WindowStats::with_abnormality(std::uint64_t key,
   return e.moments;
 }
 
+std::size_t WindowStats::size() const {
+  std::shared_lock lock(mu_);
+  return columns_.size();
+}
+
+void WindowStats::prune(std::size_t max_entries) {
+  std::unique_lock lock(mu_);
+  if (columns_.size() > max_entries) columns_.clear();
+}
+
 std::uint64_t WindowStats::hits() const {
   return hits_.load(std::memory_order_relaxed);
 }

@@ -93,6 +93,17 @@ class WindowStats {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
+  [[nodiscard]] std::size_t size() const;
+
+  // Drops every entry (keeping the fingerprint) when the map holds more than
+  // `max_entries`. Epoch-keyed callers (the diagnosis service) retire stale
+  // entries by changing keys, so dead columns accumulate; this bounds them.
+  // Dropping entries is always correct (just future misses), but the caller
+  // must guarantee no ColumnMoments reference obtained from this cache is
+  // still live — the service calls this only under its exclusive db lock,
+  // when no diagnosis is in flight.
+  void prune(std::size_t max_entries);
+
  private:
   struct Entry {
     std::once_flag base_once;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "src/obs/metrics.h"
 
@@ -84,6 +85,27 @@ std::vector<double> TimeSeries::window(TimeIndex from, TimeIndex to,
   return out;
 }
 
+bool TimeSeries::bitwise_equal(const TimeSeries& other) const {
+  if (values_.size() != other.values_.size() || valid_ != other.valid_)
+    return false;
+  // memcmp compares the stored bit patterns, so NaN payloads and -0.0/0.0
+  // are distinguished exactly — the contract warm caches rely on.
+  return values_.empty() ||
+         std::memcmp(values_.data(), other.values_.data(),
+                     values_.size() * sizeof(double)) == 0;
+}
+
+void TimeSeries::append_missing(std::size_t n) {
+  values_.resize(values_.size() + n, 0.0);
+  valid_.resize(valid_.size() + n, false);
+}
+
+std::uint64_t MetricStore::series_epoch(EntityId entity,
+                                        MetricKindId kind) const {
+  const auto it = epochs_.find(MetricRef{entity, kind});
+  return it == epochs_.end() ? 0 : it->second;
+}
+
 void MetricStore::put(EntityId entity, MetricKindId kind,
                       std::vector<double> values) {
   put(entity, kind, TimeSeries(std::move(values)));
@@ -92,11 +114,55 @@ void MetricStore::put(EntityId entity, MetricKindId kind,
 void MetricStore::put(EntityId entity, MetricKindId kind, TimeSeries series) {
   assert(series.size() == axis_.size());
   count_defect("ingest.nonfinite_dropped", series.sanitize());
-  ++version_;
   const MetricRef ref{entity, kind};
-  const bool fresh = series_.find(ref) == series_.end();
+  const auto it = series_.find(ref);
+  if (it != series_.end() && it->second.bitwise_equal(series)) {
+    // Idempotent re-ingestion (a collector replaying its spool, a CSV feed
+    // restarted from the top): the stored bits are already these bits, so
+    // nothing downstream can observe a change — skip every version/epoch
+    // bump and keep warm caches warm.
+    count_defect("ingest.noop_puts", 1);
+    return;
+  }
+  ++version_;
+  ++epochs_[ref];
+  const bool fresh = it == series_.end();
   series_.insert_or_assign(ref, std::move(series));
   if (fresh) kinds_[entity].push_back(kind);
+}
+
+bool MetricStore::upsert_cell(EntityId entity, MetricKindId kind, TimeIndex t,
+                              double v) {
+  assert(t < axis_.size());
+  const MetricRef ref{entity, kind};
+  auto it = series_.find(ref);
+  const bool fresh = it == series_.end();
+  if (fresh) {
+    it = series_
+             .emplace(ref, TimeSeries(std::vector<double>(axis_.size(), 0.0),
+                                      std::vector<bool>(axis_.size(), false)))
+             .first;
+    kinds_[entity].push_back(kind);
+  }
+  if (std::isfinite(v)) {
+    it->second.set(t, v);
+  } else {
+    // Same defect semantics as put(): a non-finite payload never becomes a
+    // readable slice.
+    it->second.invalidate(t);
+    count_defect("ingest.nonfinite_dropped", 1);
+  }
+  ++version_;
+  ++epochs_[ref];
+  return fresh;
+}
+
+void MetricStore::extend_axis(std::size_t extra_slices) {
+  if (extra_slices == 0) return;
+  axis_ = TimeAxis(axis_.start(), axis_.interval(),
+                   axis_.size() + extra_slices);
+  for (auto& [ref, series] : series_) series.append_missing(extra_slices);
+  ++version_;
 }
 
 const TimeSeries* MetricStore::find(EntityId entity, MetricKindId kind) const {
@@ -107,7 +173,10 @@ const TimeSeries* MetricStore::find(EntityId entity, MetricKindId kind) const {
 TimeSeries* MetricStore::find_mutable(EntityId entity, MetricKindId kind) {
   const auto it = series_.find(MetricRef{entity, kind});
   if (it == series_.end()) return nullptr;
-  ++version_;  // the caller may write through the pointer
+  // The caller may write through the pointer: bump both the global version
+  // and this series' epoch (the write is attributable to exactly one series).
+  ++version_;
+  ++epochs_[MetricRef{entity, kind}];
   return &it->second;
 }
 
@@ -118,7 +187,9 @@ std::vector<MetricKindId> MetricStore::kinds_of(EntityId entity) const {
 
 void MetricStore::erase(EntityId entity, MetricKindId kind) {
   ++version_;
+  ++structural_version_;  // the series set changed; epoch keys can't see it
   series_.erase(MetricRef{entity, kind});
+  epochs_.erase(MetricRef{entity, kind});
   if (auto it = kinds_.find(entity); it != kinds_.end()) {
     auto& v = it->second;
     v.erase(std::remove(v.begin(), v.end(), kind), v.end());
@@ -127,8 +198,11 @@ void MetricStore::erase(EntityId entity, MetricKindId kind) {
 
 void MetricStore::erase_entity(EntityId entity) {
   ++version_;
-  for (const MetricKindId kind : kinds_of(entity))
+  ++structural_version_;
+  for (const MetricKindId kind : kinds_of(entity)) {
     series_.erase(MetricRef{entity, kind});
+    epochs_.erase(MetricRef{entity, kind});
+  }
   kinds_.erase(entity);
 }
 

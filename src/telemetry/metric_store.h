@@ -58,6 +58,14 @@ class TimeSeries {
   // incident window.
   void invalidate_before(TimeIndex t);
 
+  // True when `other` stores the same payload bit-for-bit (values compared
+  // by bit pattern — NaN payloads and signed zeros included) and the same
+  // validity mask. The no-op-put detection in MetricStore::put uses this.
+  [[nodiscard]] bool bitwise_equal(const TimeSeries& other) const;
+
+  // Appends `n` missing slices (axis growth under streaming ingestion).
+  void append_missing(std::size_t n);
+
   // Values restricted to [from, to) with missing slices replaced by
   // `fallback`; the shape the trainers consume. Total: an inverted window
   // (to < from) is empty, slices beyond the axis read as `fallback`.
@@ -69,6 +77,8 @@ class TimeSeries {
   std::vector<bool> valid_;
 };
 
+class SnapshotIo;  // snapshot.cpp serializer; needs raw member access
+
 class MetricStore {
  public:
   MetricStore() = default;
@@ -78,6 +88,7 @@ class MetricStore {
   void set_axis(TimeAxis axis) {
     axis_ = axis;
     ++version_;
+    ++structural_version_;
   }
 
   // Monotonic data version: bumped by every mutation path, including
@@ -86,11 +97,44 @@ class MetricStore {
   // without diffing series.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  // Structural subset of version(): bumped only by mutations that change
+  // WHICH series exist or how they are read (axis replacement, erase paths),
+  // never by value writes to an existing or fresh series. The long-running
+  // service keys its cache generation on this plus per-series epochs, so a
+  // streaming append invalidates only the entries that read the touched
+  // series instead of the whole cache (DESIGN.md §9).
+  [[nodiscard]] std::uint64_t structural_version() const {
+    return structural_version_;
+  }
+
+  // Per-series write epoch: bumped every time (entity, kind) is written
+  // (put / upsert_cell / find_mutable). 0 = the series has never existed;
+  // the first write makes it 1. Epoch-keyed caches mix this into their entry
+  // keys, so a write retires exactly the entries that read this series.
+  [[nodiscard]] std::uint64_t series_epoch(EntityId entity,
+                                           MetricKindId kind) const;
+
   // Replaces any existing series for (entity, kind). `values.size()` must
   // equal axis().size(). Ingest sanitizes: non-finite slices are marked
-  // missing (counter `ingest.nonfinite_dropped`).
+  // missing (counter `ingest.nonfinite_dropped`). A no-op put — a series
+  // bitwise identical (values and validity) to the one already stored —
+  // bumps nothing (counter `ingest.noop_puts`), so idempotent re-ingestion
+  // keeps warm caches warm.
   void put(EntityId entity, MetricKindId kind, std::vector<double> values);
   void put(EntityId entity, MetricKindId kind, TimeSeries series);
+
+  // Streaming ingestion: writes one slice of (entity, kind), creating the
+  // series (all slices missing) when absent. Non-finite values are the usual
+  // telemetry defect: the slice stays missing (`ingest.nonfinite_dropped`).
+  // Bumps version() and the series epoch. Returns true when the series was
+  // created by this call.
+  bool upsert_cell(EntityId entity, MetricKindId kind, TimeIndex t, double v);
+
+  // Grows the axis by `extra_slices`; every stored series is padded with
+  // missing slices. Existing window reads are unchanged (slices past the old
+  // end already read as missing), so neither series epochs nor the
+  // structural version move; version() bumps conservatively.
+  void extend_axis(std::size_t extra_slices);
 
   [[nodiscard]] const TimeSeries* find(EntityId entity,
                                        MetricKindId kind) const;
@@ -107,9 +151,13 @@ class MetricStore {
   [[nodiscard]] std::size_t series_count() const { return series_.size(); }
 
  private:
+  friend class SnapshotIo;
+
   TimeAxis axis_;
   std::uint64_t version_ = 0;
+  std::uint64_t structural_version_ = 0;
   std::unordered_map<MetricRef, TimeSeries> series_;
+  std::unordered_map<MetricRef, std::uint64_t> epochs_;
   std::unordered_map<EntityId, std::vector<MetricKindId>> kinds_;
 };
 

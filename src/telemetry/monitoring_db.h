@@ -97,6 +97,16 @@ class MonitoringDb {
     return structural_version_ + metrics_.version();
   }
 
+  // Structural slice of data_version(): entity/association mutations plus
+  // the store's structural changes (axis swap, series erasure) — but NOT
+  // value writes, which are tracked per series by MetricStore::series_epoch.
+  // The long-running service keys its cache generation on this, so streaming
+  // appends leave the generation intact and retire only the epoch-keyed
+  // entries that read the touched series (DESIGN.md §9).
+  [[nodiscard]] std::uint64_t structural_data_version() const {
+    return structural_version_ + metrics_.structural_version();
+  }
+
   // Process-unique identity of this db object (see DbUid). Cache
   // fingerprints chain (uid, data_version) — never the object's address.
   [[nodiscard]] std::uint64_t uid() const { return uid_.value(); }
@@ -142,6 +152,8 @@ class MonitoringDb {
   void remove_entity(EntityId id);
 
  private:
+  friend class SnapshotIo;  // snapshot.cpp serializer; raw member access
+
   std::vector<EntityInfo> entities_;
   std::vector<bool> present_;
   std::uint64_t structural_version_ = 0;

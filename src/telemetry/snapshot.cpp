@@ -1,0 +1,424 @@
+#include "src/telemetry/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace murphy::telemetry {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'R', 'P', 'H', 'S', 'N', 'P'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Append-only little-endian writer over a std::string buffer.
+struct Writer {
+  std::string buf;
+
+  void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf.append(s.data(), s.size());
+  }
+  void bools(const std::vector<bool>& bits) {
+    u64(bits.size());
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        u8(acc);
+        acc = 0;
+      }
+    }
+    if (bits.size() % 8 != 0) u8(acc);
+  }
+};
+
+// Bounds-checked reader: every accessor validates the remaining byte count
+// and latches a failure instead of reading past the payload, so corrupt
+// sizes degrade to a rejection rather than UB.
+struct Reader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool failed = false;
+  std::string what;
+
+  void fail(std::string msg) {
+    if (!failed) what = std::move(msg);
+    failed = true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return size - pos; }
+  bool need(std::size_t n, const char* field) {
+    if (failed) return false;
+    if (remaining() < n) {
+      fail(std::string("truncated payload while reading ") + field);
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8(const char* field) {
+    if (!need(1, field)) return 0;
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32(const char* field) {
+    if (!need(4, field)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos++]))
+           << (8 * i);
+    return v;
+  }
+  std::uint64_t u64(const char* field) {
+    if (!need(8, field)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos++]))
+           << (8 * i);
+    return v;
+  }
+  double f64(const char* field) { return std::bit_cast<double>(u64(field)); }
+  // A count that prefixes records of at least `min_record_bytes` each: caps
+  // the value against the remaining bytes so a corrupt count cannot drive a
+  // multi-gigabyte allocation.
+  std::uint64_t count(const char* field, std::size_t min_record_bytes) {
+    const std::uint64_t n = u64(field);
+    if (!failed && min_record_bytes > 0 &&
+        n > remaining() / min_record_bytes) {
+      fail(std::string("implausible count for ") + field);
+      return 0;
+    }
+    return n;
+  }
+  std::string str(const char* field) {
+    const std::uint64_t n = u64(field);
+    if (failed || !need(static_cast<std::size_t>(n), field)) return {};
+    std::string s(data + pos, static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<bool> bools(const char* field) {
+    const std::uint64_t n = count(field, 0);
+    const std::size_t bytes = (static_cast<std::size_t>(n) + 7) / 8;
+    if (failed || !need(bytes, field)) return {};
+    std::vector<bool> bits(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      bits[i] = (static_cast<unsigned char>(data[pos + i / 8]) >> (i % 8)) & 1;
+    pos += bytes;
+    return bits;
+  }
+};
+
+bool set_error(SnapshotError* error, std::string message) {
+  if (error != nullptr) error->message = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+// Friend of MonitoringDb / MetricStore / (transitively) their members:
+// serializes raw state so the restored db is bitwise identical — including
+// absent entity slots (EntityId stability), kinds_ insertion order (feature
+// candidate enumeration order depends on it) and per-series write epochs.
+class SnapshotIo {
+ public:
+  static std::string serialize(const MonitoringDb& db) {
+    Writer w;
+    const MetricStore& ms = db.metrics_;
+    // 1. axis
+    w.f64(ms.axis_.start());
+    w.f64(ms.axis_.interval());
+    w.u64(ms.axis_.size());
+    // 2. metric catalog, id order
+    w.u64(db.catalog_.size());
+    for (std::uint32_t k = 0; k < db.catalog_.size(); ++k)
+      w.str(db.catalog_.name(MetricKindId(k)));
+    // 3. entities, id order, absent slots included
+    w.u64(db.entities_.size());
+    for (std::size_t i = 0; i < db.entities_.size(); ++i) {
+      const EntityInfo& e = db.entities_[i];
+      w.u32(static_cast<std::uint32_t>(e.type));
+      w.str(e.name);
+      w.u32(e.app.value());
+      w.u8(db.present_[i] ? 1 : 0);
+    }
+    // 4. associations, index order
+    w.u64(db.associations_.size());
+    for (const Association& a : db.associations_) {
+      w.u32(a.a.value());
+      w.u32(a.b.value());
+      w.u32(static_cast<std::uint32_t>(a.kind));
+      w.u8(a.directed ? 1 : 0);
+    }
+    // 5. apps
+    w.u64(db.apps_.size());
+    for (const AppInfo& app : db.apps_) {
+      w.str(app.name);
+      w.u64(app.members.size());
+      for (const EntityId m : app.members) w.u32(m.value());
+    }
+    // 6. series, grouped per entity in kinds_ insertion order (preserving it
+    // keeps feature-candidate enumeration identical after restore)
+    w.u64(ms.series_.size());
+    for (std::size_t i = 0; i < db.entities_.size(); ++i) {
+      const EntityId entity(static_cast<std::uint32_t>(i));
+      const auto kit = ms.kinds_.find(entity);
+      if (kit == ms.kinds_.end()) continue;
+      for (const MetricKindId kind : kit->second) {
+        const auto sit = ms.series_.find(MetricRef{entity, kind});
+        if (sit == ms.series_.end()) continue;
+        const TimeSeries& s = sit->second;
+        w.u32(entity.value());
+        w.u32(kind.value());
+        w.u64(ms.series_epoch(entity, kind));
+        for (const double v : s.values()) w.f64(v);
+        std::vector<bool> valid(s.size());
+        for (TimeIndex t = 0; t < s.size(); ++t) valid[t] = s.is_valid(t);
+        w.bools(valid);
+      }
+    }
+    // 7. config events
+    w.u64(db.config_events_.size());
+    for (std::size_t i = 0; i < db.config_events_.size(); ++i) {
+      const ConfigEvent& e = db.config_events_.event(i);
+      w.u32(static_cast<std::uint32_t>(e.kind));
+      w.u32(e.entity.value());
+      w.u64(e.at);
+      w.str(e.detail);
+    }
+    // 8. version counters (cache-fingerprint continuity across restart)
+    w.u64(db.structural_version_);
+    w.u64(ms.version_);
+    w.u64(ms.structural_version_);
+    return std::move(w.buf);
+  }
+
+  static std::optional<MonitoringDb> parse(const char* data, std::size_t size,
+                                           SnapshotError* error) {
+    Reader r{data, size, 0, false, {}};
+    MonitoringDb db;
+    MetricStore& ms = db.metrics_;
+    // 1. axis
+    const double axis_start = r.f64("axis.start");
+    const double axis_interval = r.f64("axis.interval");
+    const std::uint64_t axis_slices = r.u64("axis.slices");
+    if (!r.failed && (!std::isfinite(axis_interval) || axis_interval <= 0.0))
+      r.fail("non-positive axis interval");
+    if (!r.failed)
+      ms.axis_ = TimeAxis(axis_start, axis_interval,
+                          static_cast<std::size_t>(axis_slices));
+    // 2. catalog
+    const std::uint64_t n_kinds = r.count("catalog", 8);
+    for (std::uint64_t k = 0; k < n_kinds && !r.failed; ++k)
+      db.catalog_.intern(r.str("catalog.name"));
+    // 3. entities
+    const std::uint64_t n_entities = r.count("entities", 4 + 8 + 4 + 1);
+    for (std::uint64_t i = 0; i < n_entities && !r.failed; ++i) {
+      EntityInfo e;
+      e.id = EntityId(static_cast<std::uint32_t>(i));
+      const std::uint32_t type = r.u32("entity.type");
+      if (type > static_cast<std::uint32_t>(EntityType::kNode))
+        r.fail("entity type out of range");
+      e.type = static_cast<EntityType>(type);
+      e.name = r.str("entity.name");
+      e.app = AppId(r.u32("entity.app"));
+      const bool present = r.u8("entity.present") != 0;
+      if (r.failed) break;
+      db.name_index_.emplace(e.name, e.id);
+      db.entities_.push_back(std::move(e));
+      db.present_.push_back(present);
+    }
+    // 4. associations
+    const std::uint64_t n_assoc = r.count("associations", 4 + 4 + 4 + 1);
+    for (std::uint64_t i = 0; i < n_assoc && !r.failed; ++i) {
+      Association a;
+      a.a = EntityId(r.u32("assoc.a"));
+      a.b = EntityId(r.u32("assoc.b"));
+      const std::uint32_t kind = r.u32("assoc.kind");
+      if (kind > static_cast<std::uint32_t>(RelationKind::kGeneric))
+        r.fail("association kind out of range");
+      a.kind = static_cast<RelationKind>(kind);
+      a.directed = r.u8("assoc.directed") != 0;
+      if (!r.failed && (a.a.value() >= db.entities_.size() ||
+                        a.b.value() >= db.entities_.size()))
+        r.fail("association endpoint out of range");
+      if (r.failed) break;
+      db.associations_.push_back(a);
+    }
+    db.rebuild_assoc_index();
+    // 5. apps
+    const std::uint64_t n_apps = r.count("apps", 8 + 8);
+    for (std::uint64_t i = 0; i < n_apps && !r.failed; ++i) {
+      AppInfo app;
+      app.id = AppId(static_cast<std::uint32_t>(i));
+      app.name = r.str("app.name");
+      const std::uint64_t n_members = r.count("app.members", 4);
+      for (std::uint64_t m = 0; m < n_members && !r.failed; ++m) {
+        const EntityId member(r.u32("app.member"));
+        if (!r.failed && member.value() >= db.entities_.size())
+          r.fail("app member out of range");
+        app.members.push_back(member);
+      }
+      if (r.failed) break;
+      db.app_index_.emplace(app.name, app.id);
+      db.apps_.push_back(std::move(app));
+    }
+    // 6. series
+    const std::size_t slices = ms.axis_.size();
+    const std::uint64_t n_series =
+        r.count("series", 4 + 4 + 8 + slices * 8 + 8);
+    for (std::uint64_t i = 0; i < n_series && !r.failed; ++i) {
+      const EntityId entity(r.u32("series.entity"));
+      const MetricKindId kind(r.u32("series.kind"));
+      const std::uint64_t epoch = r.u64("series.epoch");
+      if (!r.failed && (entity.value() >= db.entities_.size() ||
+                        kind.value() >= db.catalog_.size()))
+        r.fail("series reference out of range");
+      std::vector<double> values(slices);
+      for (std::size_t t = 0; t < slices && !r.failed; ++t)
+        values[t] = r.f64("series.value");
+      std::vector<bool> valid = r.bools("series.valid");
+      if (!r.failed && valid.size() != slices)
+        r.fail("series validity mask length mismatch");
+      if (r.failed) break;
+      const MetricRef ref{entity, kind};
+      if (!ms.series_.emplace(ref, TimeSeries(std::move(values),
+                                              std::move(valid)))
+               .second) {
+        r.fail("duplicate series record");
+        break;
+      }
+      ms.epochs_[ref] = epoch;
+      ms.kinds_[entity].push_back(kind);
+    }
+    // 7. config events
+    const std::uint64_t n_events = r.count("config_events", 4 + 4 + 8 + 8);
+    for (std::uint64_t i = 0; i < n_events && !r.failed; ++i) {
+      ConfigEvent e;
+      const std::uint32_t kind = r.u32("event.kind");
+      if (kind > static_cast<std::uint32_t>(ConfigEventKind::kConfigPushed))
+        r.fail("config event kind out of range");
+      e.kind = static_cast<ConfigEventKind>(kind);
+      e.entity = EntityId(r.u32("event.entity"));
+      e.at = static_cast<TimeIndex>(r.u64("event.at"));
+      e.detail = r.str("event.detail");
+      if (r.failed) break;
+      db.config_events_.record(std::move(e));
+    }
+    // 8. versions
+    db.structural_version_ = r.u64("db.structural_version");
+    ms.version_ = r.u64("metrics.version");
+    ms.structural_version_ = r.u64("metrics.structural_version");
+    if (!r.failed && r.remaining() != 0)
+      r.fail("trailing bytes after payload");
+    if (r.failed) {
+      set_error(error, r.what);
+      return std::nullopt;
+    }
+    return db;
+  }
+};
+
+bool save_snapshot(const MonitoringDb& db, std::ostream& out) {
+  const std::string payload = SnapshotIo::serialize(db);
+  Writer header;
+  header.buf.append(kMagic, sizeof(kMagic));
+  header.u32(kSnapshotFormatVersion);
+  header.u32(0);  // reserved
+  header.u64(payload.size());
+  header.u64(fnv1a64(payload.data(), payload.size()));
+  out.write(header.buf.data(),
+            static_cast<std::streamsize>(header.buf.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  return out.good();
+}
+
+std::optional<MonitoringDb> load_snapshot(std::istream& in,
+                                          SnapshotError* error) {
+  char header[kHeaderSize];
+  in.read(header, kHeaderSize);
+  if (in.gcount() != static_cast<std::streamsize>(kHeaderSize)) {
+    set_error(error, "truncated snapshot header");
+    return std::nullopt;
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    set_error(error, "bad snapshot magic");
+    return std::nullopt;
+  }
+  Reader hr{header + sizeof(kMagic), kHeaderSize - sizeof(kMagic), 0, false, {}};
+  const std::uint32_t version = hr.u32("header.version");
+  (void)hr.u32("header.reserved");
+  const std::uint64_t payload_size = hr.u64("header.payload_size");
+  const std::uint64_t checksum = hr.u64("header.checksum");
+  if (version != kSnapshotFormatVersion) {
+    set_error(error,
+              "unsupported snapshot format version " + std::to_string(version));
+    return std::nullopt;
+  }
+  // A corrupt size field must not drive a multi-gigabyte allocation before
+  // the checksum gets a chance to reject the blob.
+  constexpr std::uint64_t kMaxPayload = 1ULL << 32;  // 4 GiB
+  if (payload_size > kMaxPayload) {
+    set_error(error, "implausible snapshot payload size");
+    return std::nullopt;
+  }
+  // Read in bounded chunks rather than pre-sizing to payload_size: a
+  // corrupted size field below kMaxPayload would otherwise zero-fill
+  // gigabytes before the (short) input reveals the truncation.
+  std::string payload;
+  constexpr std::size_t kChunk = 1 << 20;
+  while (payload.size() < payload_size) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunk, payload_size - payload.size()));
+    const std::size_t old = payload.size();
+    payload.resize(old + want);
+    in.read(payload.data() + old, static_cast<std::streamsize>(want));
+    if (in.gcount() != static_cast<std::streamsize>(want)) {
+      set_error(error, "truncated snapshot payload");
+      return std::nullopt;
+    }
+  }
+  if (fnv1a64(payload.data(), payload.size()) != checksum) {
+    set_error(error, "snapshot checksum mismatch");
+    return std::nullopt;
+  }
+  return SnapshotIo::parse(payload.data(), payload.size(), error);
+}
+
+bool save_snapshot_file(const MonitoringDb& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out.is_open() && save_snapshot(db, out);
+}
+
+std::optional<MonitoringDb> load_snapshot_file(const std::string& path,
+                                               SnapshotError* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    set_error(error, "cannot open snapshot file: " + path);
+    return std::nullopt;
+  }
+  return load_snapshot(in, error);
+}
+
+}  // namespace murphy::telemetry

@@ -1,0 +1,50 @@
+// Binary snapshot of a MonitoringDb — save/restore for the long-running
+// diagnosis service (DESIGN.md §9).
+//
+// A restarted murphyd must resume warm instead of replaying its whole
+// telemetry feed, so the full diagnosis substrate — axis, catalog, entities
+// (including absent slots, so EntityIds stay stable), the relationship
+// associations, apps, every metric series with its validity mask and write
+// epoch, and the config-event log — round-trips through a single binary
+// blob. Version counters ride along, so cache fingerprints and reported db
+// epochs stay continuous across the restart.
+//
+// Format: a fixed header (magic, format version, payload size, FNV-1a 64
+// checksum of the payload) followed by the payload. The loader validates
+// all four header fields and bounds-checks every read, so a truncated or
+// bit-flipped snapshot is rejected with a diagnostic — never a crash or a
+// silently wrong database. Doubles are serialized by bit pattern: a restored
+// db is bitwise identical to the saved one, and diagnoses over it reproduce
+// the original rankings exactly.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/telemetry/monitoring_db.h"
+
+namespace murphy::telemetry {
+
+// Snapshot format version written by save_snapshot. Bumped on any payload
+// layout change; the loader rejects versions it does not understand.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+struct SnapshotError {
+  std::string message;
+};
+
+// Serializes `db` to `out`. Returns false (stream state) on write failure.
+bool save_snapshot(const MonitoringDb& db, std::ostream& out);
+
+// Rebuilds a db from `in`. Returns nullopt and fills `error` when the
+// header, checksum or payload is malformed.
+[[nodiscard]] std::optional<MonitoringDb> load_snapshot(
+    std::istream& in, SnapshotError* error = nullptr);
+
+// File-based conveniences.
+bool save_snapshot_file(const MonitoringDb& db, const std::string& path);
+[[nodiscard]] std::optional<MonitoringDb> load_snapshot_file(
+    const std::string& path, SnapshotError* error = nullptr);
+
+}  // namespace murphy::telemetry

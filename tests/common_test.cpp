@@ -1,6 +1,11 @@
-// Tests for the common substrate: strong identifiers, string helpers, and
-// RNG distribution edge behaviour not covered by the stats suite.
+// Tests for the common substrate: strong identifiers, string helpers, RNG
+// distribution edge behaviour not covered by the stats suite, and the
+// ThreadPool task mode (submit/drain) the diagnosis service runs on.
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
@@ -8,6 +13,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 #include "src/common/time_axis.h"
 #include "src/stats/summary.h"
 
@@ -113,6 +119,81 @@ TEST(TimeAxisExtra, EqualityIncludesAllFields) {
   EXPECT_EQ(TimeAxis(0.0, 10.0, 5), TimeAxis(0.0, 10.0, 5));
   EXPECT_NE(TimeAxis(0.0, 10.0, 5), TimeAxis(0.0, 10.0, 6));
   EXPECT_NE(TimeAxis(0.0, 10.0, 5), TimeAxis(1.0, 10.0, 5));
+}
+
+TEST(ThreadPoolTasks, DrainCompletesEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 500; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.drain();
+  EXPECT_EQ(done.load(), 500);
+  // drain() on a quiescent pool returns immediately.
+  pool.drain();
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST(ThreadPoolTasks, ZeroWorkerPoolRunsTasksInline) {
+  ThreadPool pool(0);
+  int done = 0;
+  pool.submit([&done] { ++done; });
+  EXPECT_EQ(done, 1);  // completed before submit() returned
+  pool.drain();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(ThreadPoolTasks, DrainRethrowsFirstTaskExceptionThenClears) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  EXPECT_EQ(done.load(), 50);  // the failure did not abandon later tasks
+  pool.drain();                // error was consumed by the first drain
+}
+
+TEST(ThreadPoolTasks, DestructorAbandonsQueuedButFinishesInFlight) {
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(1);
+    // First task occupies the lone worker until released; the rest queue up
+    // behind it and are abandoned when the pool is destroyed.
+    pool.submit([&] {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      finished.fetch_add(1);
+    });
+    for (int i = 0; i < 20; ++i)
+      pool.submit([&] {
+        started.fetch_add(1);
+        finished.fetch_add(1);
+      });
+    while (started.load() == 0) std::this_thread::yield();
+    release.store(true);
+    // Destructor runs here: joins the worker, so the in-flight task always
+    // completes; whatever is still queued is dropped unexecuted.
+  }
+  EXPECT_GE(finished.load(), 1);
+  EXPECT_EQ(finished.load(), started.load());  // nothing half-run
+  EXPECT_LE(finished.load(), 21);
+}
+
+TEST(ThreadPoolTasks, TasksCoexistWithParallelForBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> task_done{0};
+  std::atomic<int> iter_done{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i)
+      pool.submit([&] { task_done.fetch_add(1, std::memory_order_relaxed); });
+    pool.parallel_for(
+        64, [&](std::size_t) { iter_done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.drain();
+  EXPECT_EQ(task_done.load(), 80);
+  EXPECT_EQ(iter_done.load(), 640);
 }
 
 }  // namespace

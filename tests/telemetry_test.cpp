@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 #include <new>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include <gtest/gtest.h>
@@ -12,6 +14,7 @@
 #include "src/telemetry/metric_catalog.h"
 #include "src/telemetry/metric_store.h"
 #include "src/telemetry/monitoring_db.h"
+#include "src/telemetry/snapshot.h"
 
 namespace murphy::telemetry {
 namespace {
@@ -309,6 +312,235 @@ TEST(MonitoringDb, UidDiffersForSequentialDbsAtTheSameStorage) {
   EXPECT_EQ(static_cast<void*>(db1), static_cast<void*>(db2));
   EXPECT_NE(db2->uid(), uid1);
   db2->~MonitoringDb();
+}
+
+// --- streaming ingestion: no-op puts, per-series epochs, axis growth -------
+
+TEST(MetricStoreStreaming, NoOpPutBumpsNothing) {
+  MetricStore store(TimeAxis(0.0, 60.0, 3));
+  const EntityId e(0);
+  const MetricKindId k(0);
+  store.put(e, k, {1.0, 2.0, 3.0});
+  const std::uint64_t version = store.version();
+  const std::uint64_t epoch = store.series_epoch(e, k);
+
+  // Re-ingesting the bitwise-identical series is the idempotent-collector
+  // case: versions must not move, or every cache above invalidates for
+  // nothing (the regression this PR fixes).
+  store.put(e, k, {1.0, 2.0, 3.0});
+  EXPECT_EQ(store.version(), version);
+  EXPECT_EQ(store.series_epoch(e, k), epoch);
+
+  // Same values, different validity: NOT a no-op.
+  TimeSeries masked({1.0, 2.0, 3.0}, {true, false, true});
+  store.put(e, k, std::move(masked));
+  EXPECT_GT(store.version(), version);
+  EXPECT_GT(store.series_epoch(e, k), epoch);
+}
+
+TEST(MetricStoreStreaming, NoOpPutIsBitwiseNotValuewise) {
+  MetricStore store(TimeAxis(0.0, 60.0, 2));
+  const EntityId e(0);
+  const MetricKindId k(0);
+  store.put(e, k, {0.0, 1.0});
+  const std::uint64_t version = store.version();
+  // -0.0 == 0.0 numerically but differs bitwise: the comparison must see
+  // the difference (sign bits matter to downstream bit-exact replay).
+  store.put(e, k, {-0.0, 1.0});
+  EXPECT_GT(store.version(), version);
+}
+
+TEST(MetricStoreStreaming, SeriesEpochsAreIndependent) {
+  MetricStore store(TimeAxis(0.0, 60.0, 2));
+  const EntityId a(0), b(1);
+  const MetricKindId k(0);
+  EXPECT_EQ(store.series_epoch(a, k), 0u);  // never written
+  store.put(a, k, {1.0, 2.0});
+  store.put(b, k, {3.0, 4.0});
+  EXPECT_EQ(store.series_epoch(a, k), 1u);
+  EXPECT_EQ(store.series_epoch(b, k), 1u);
+  store.upsert_cell(b, k, 0, 9.0);
+  EXPECT_EQ(store.series_epoch(a, k), 1u);  // untouched neighbor
+  EXPECT_EQ(store.series_epoch(b, k), 2u);
+  // find_mutable may write through the pointer: bump conservatively.
+  (void)store.find_mutable(a, k);
+  EXPECT_EQ(store.series_epoch(a, k), 2u);
+}
+
+TEST(MetricStoreStreaming, UpsertCellCreatesAllMissingSeries) {
+  MetricStore store(TimeAxis(0.0, 60.0, 4));
+  const EntityId e(0);
+  const MetricKindId k(0);
+  EXPECT_TRUE(store.upsert_cell(e, k, 2, 7.5));
+  const TimeSeries* s = store.find(e, k);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->is_valid(0));
+  EXPECT_FALSE(s->is_valid(1));
+  EXPECT_TRUE(s->is_valid(2));
+  EXPECT_DOUBLE_EQ(s->value(2), 7.5);
+  // Second write to the same series is not a creation.
+  EXPECT_FALSE(store.upsert_cell(e, k, 0, 1.0));
+  // Non-finite payloads stay missing (the §8 defect contract).
+  EXPECT_FALSE(store.upsert_cell(e, k, 3,
+                                 std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(store.find(e, k)->is_valid(3));
+}
+
+TEST(MetricStoreStreaming, ExtendAxisPadsMissingWithoutStructuralBump) {
+  MetricStore store(TimeAxis(0.0, 60.0, 2));
+  const EntityId e(0);
+  const MetricKindId k(0);
+  store.put(e, k, {1.0, 2.0});
+  const std::uint64_t structural = store.structural_version();
+  const std::uint64_t epoch = store.series_epoch(e, k);
+  store.extend_axis(3);
+  EXPECT_EQ(store.axis().size(), 5u);
+  const TimeSeries* s = store.find(e, k);
+  ASSERT_EQ(s->size(), 5u);
+  EXPECT_TRUE(s->is_valid(1));
+  EXPECT_FALSE(s->is_valid(2));
+  // Growth changes no existing window read: epochs and the structural
+  // version hold, so epoch-keyed caches keep hitting.
+  EXPECT_EQ(store.structural_version(), structural);
+  EXPECT_EQ(store.series_epoch(e, k), epoch);
+}
+
+TEST(MetricStoreStreaming, EraseIsStructural) {
+  MetricStore store(TimeAxis(0.0, 60.0, 2));
+  const EntityId e(0);
+  const MetricKindId k(0);
+  store.put(e, k, {1.0, 2.0});
+  const std::uint64_t structural = store.structural_version();
+  store.erase(e, k);
+  // Erasure resets the series' epoch to zero — the one transition that
+  // could ABA an epoch-keyed cache (erase + re-put at epoch 1 again), which
+  // is why it must bump the structural version and force a full reset.
+  EXPECT_EQ(store.series_epoch(e, k), 0u);
+  EXPECT_GT(store.structural_version(), structural);
+}
+
+// --- binary snapshots -------------------------------------------------------
+
+// A db exercising every serialized section: apps, an absent entity slot
+// (ids must stay stable across restore), directed associations, missing
+// slices, a multi-kind entity (kinds_of order matters — it fixes feature
+// enumeration), config events, and non-trivial version counters.
+MonitoringDb make_snapshot_db() {
+  MonitoringDb db;
+  const AppId app = db.define_app("shop");
+  const EntityId vm1 = db.add_entity(EntityType::kVm, "vm-web", app);
+  const EntityId vm2 = db.add_entity(EntityType::kVm, "vm-db", app);
+  const EntityId gone = db.add_entity(EntityType::kFlow, "flow-dead");
+  const EntityId host = db.add_entity(EntityType::kHost, "host-1");
+  db.add_association(vm1, host, RelationKind::kVmOnHost);
+  db.add_association(vm2, vm1, RelationKind::kCallerCallee, true);
+  db.remove_entity(gone);
+  db.metrics().set_axis(TimeAxis(100.0, 60.0, 4));
+  const MetricKindId lat = db.catalog().intern("latency_ms");
+  const MetricKindId cpu = db.catalog().intern("cpu_util");
+  db.metrics().put(vm1, lat, TimeSeries({1.5, 0.0, 3.25, -0.0},
+                                        {true, false, true, true}));
+  db.metrics().put(vm1, cpu, {10.0, 20.0, 30.0, 40.0});
+  db.metrics().upsert_cell(vm2, cpu, 1, 55.0);
+  db.config_events().record(
+      {ConfigEventKind::kResourcesResized, vm2, 2, "vCPU 4 -> 8"});
+  return db;
+}
+
+std::string snapshot_bytes(const MonitoringDb& db) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(save_snapshot(db, out));
+  return out.str();
+}
+
+TEST(Snapshot, RoundTripIsBitwiseIdentical) {
+  const MonitoringDb db = make_snapshot_db();
+  const std::string bytes = snapshot_bytes(db);
+
+  std::istringstream in(bytes, std::ios::binary);
+  SnapshotError err;
+  auto restored = load_snapshot(in, &err);
+  ASSERT_TRUE(restored.has_value()) << err.message;
+
+  // Identity: entity slots (absent one included), names, apps, axis.
+  EXPECT_EQ(restored->entity_count(), db.entity_count());
+  EXPECT_FALSE(restored->has_entity(EntityId(2)));
+  EXPECT_EQ(restored->find_entity("vm-web"), EntityId(0));
+  EXPECT_EQ(restored->entity(EntityId(1)).app, AppId(0));
+  EXPECT_EQ(restored->metrics().axis(), db.metrics().axis());
+  EXPECT_EQ(restored->association_count(), db.association_count());
+  EXPECT_TRUE(restored->association(1).directed);
+
+  // Version counters carry over so warm-restart fingerprints line up.
+  EXPECT_EQ(restored->data_version(), db.data_version());
+  EXPECT_EQ(restored->structural_data_version(),
+            db.structural_data_version());
+  // But identity does not: the restored db is a new object and must re-key
+  // every cache (the uid exists to prevent exactly this aliasing).
+  EXPECT_NE(restored->uid(), db.uid());
+
+  // kinds_of order fixes feature enumeration order — must survive.
+  EXPECT_EQ(restored->metrics().kinds_of(EntityId(0)),
+            db.metrics().kinds_of(EntityId(0)));
+
+  // Series payloads bit-for-bit (missing mask, -0.0 sign included): saving
+  // the restored db reproduces the original bytes exactly.
+  EXPECT_EQ(snapshot_bytes(*restored), bytes);
+
+  EXPECT_EQ(restored->config_events().size(), 1u);
+  EXPECT_EQ(restored->config_events().event(0).detail, "vCPU 4 -> 8");
+}
+
+TEST(Snapshot, TruncationIsRejectedAtEveryLength) {
+  const std::string bytes = snapshot_bytes(make_snapshot_db());
+  // Every proper prefix must fail cleanly — header cut, payload cut, or
+  // checksum cut (stride keeps the test fast; boundaries are covered).
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len < 64 ? 1 : 97)) {
+    std::istringstream in(bytes.substr(0, len), std::ios::binary);
+    SnapshotError err;
+    EXPECT_FALSE(load_snapshot(in, &err).has_value()) << "length " << len;
+    EXPECT_FALSE(err.message.empty());
+  }
+}
+
+TEST(Snapshot, BitFlipsAreRejectedEverywhere) {
+  const std::string bytes = snapshot_bytes(make_snapshot_db());
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += (pos < 40 ? 1 : 53)) {
+    // Bytes 12..15 are the header's reserved field — the loader ignores it
+    // (forward compatibility), so a flip there is legitimately accepted.
+    if (pos >= 12 && pos < 16) continue;
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    std::istringstream in(corrupt, std::ios::binary);
+    // Header flips fail structurally (magic/version/size); payload flips
+    // fail the checksum. Either way: nullopt, never garbage, never a crash.
+    EXPECT_FALSE(load_snapshot(in, nullptr).has_value()) << "byte " << pos;
+  }
+}
+
+TEST(Snapshot, AbsurdPayloadSizeIsRejectedWithoutAllocating) {
+  std::string bytes = snapshot_bytes(make_snapshot_db());
+  // The header's payload-size field sits after magic (8) + version (4) +
+  // reserved (4); stamp in ~16 EiB. The loader must refuse before trying
+  // to allocate it.
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[16 + i] = static_cast<char>(0xEE);
+  std::istringstream in(bytes, std::ios::binary);
+  SnapshotError err;
+  EXPECT_FALSE(load_snapshot(in, &err).has_value());
+  EXPECT_FALSE(err.message.empty());
+}
+
+TEST(Snapshot, EmptyDbRoundTrips) {
+  const MonitoringDb empty;
+  const std::string bytes = snapshot_bytes(empty);
+  std::istringstream in(bytes, std::ios::binary);
+  auto restored = load_snapshot(in, nullptr);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->entity_count(), 0u);
+  EXPECT_TRUE(restored->metrics().axis().empty());
 }
 
 }  // namespace
