@@ -92,6 +92,8 @@ int main() {
     opts.dynamics.slices = 168;
   }
   const auto incident = enterprise::make_incident(2, opts);
+  bench::stamp_workload({"enterprise-incidents", opts.topology.num_apps,
+                         opts.topology.hosts, opts.seed, "incident-2"});
   const telemetry::MonitoringDb& db = incident.topo.db;
   const TimeIndex train_end = incident.incident_end;
   const TimeIndex train_begin = 0;

@@ -56,6 +56,11 @@ int main() {
   std::size_t i = 0;
   for (const auto& opts : sweep) {
     const auto c = emulation::make_interference_case(opts);
+    if (i == 0)
+      bench::stamp_workload({"hotel-reservation",
+                             c.entities.services.size(),
+                             c.entities.nodes.size(), /*sweep seed=*/2023,
+                             "interference"});
     for (auto& row : rows) row.acc.add(eval::run_case(*row.scheme, c));
     std::fprintf(stderr, "  variant %zu/%zu done\n", ++i, sweep.size());
   }

@@ -32,6 +32,9 @@ void run_app(emulation::ContentionOptions::App app, const char* app_name,
   std::size_t i = 0;
   for (const auto& opts : sweep) {
     const auto c = emulation::make_contention_case(opts);
+    if (i == 0)
+      bench::stamp_workload({app_name, c.entities.services.size(),
+                             c.entities.nodes.size(), seed, "contention"});
     for (auto& row : rows) row.acc.add(eval::run_case(*row.scheme, c));
     std::fprintf(stderr, "  %s scenario %zu/%zu done\n", app_name, ++i,
                  sweep.size());

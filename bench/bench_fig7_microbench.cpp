@@ -56,6 +56,12 @@ int main() {
     std::size_t i = 0;
     for (const auto& opts : sweep) {
       const auto c = emulation::make_contention_case(opts);
+      if (i == 0)
+        bench::stamp_workload({"hotel-reservation",
+                               c.entities.services.size(),
+                               c.entities.nodes.size(), /*sweep seed=*/211,
+                               "contention,no-prior,offline-vs-online,"
+                               "ntrain-sweep"});
       acc.add(eval::run_case(murphy, c));
       std::fprintf(stderr, "  no-prior %zu/%zu\n", ++i, sweep.size());
     }

@@ -33,6 +33,8 @@ int main() {
   const auto topo = enterprise::make_metrics_dataset(dopts);
   std::printf("dataset: %zu entities, %zu apps, %zu slices\n\n",
               topo.entity_count(), topo.apps.size(), dopts.slices);
+  bench::stamp_workload({"enterprise-metrics", topo.apps.size(),
+                         topo.hosts.size(), dopts.seed, ""});
 
   // One relationship graph over a sample of apps; entities sampled from it.
   std::vector<EntityId> seeds;

@@ -53,6 +53,8 @@ int main() {
   dopts.scale = bench::full_scale() ? 0.4 : 0.08;
   dopts.slices = 168;
   const auto topo = enterprise::make_metrics_dataset(dopts);
+  bench::stamp_workload({"enterprise-metrics", topo.apps.size(),
+                         topo.hosts.size(), dopts.seed, ""});
   const std::size_t napps =
       std::min<std::size_t>(topo.apps.size(), bench::scaled(12, 24));
   std::printf("dataset: %zu entities; evaluating %zu apps x multiple time "

@@ -240,6 +240,11 @@ int main(int argc, char** argv) {
   MetricsMirrorReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  // Environments are built per-benchmark by make_env(apps, slices); stamp
+  // the family's largest point so the snapshot records what "apps=12"
+  // means physically (hosts = max(4, apps), topology seed 5).
+  murphy::bench::stamp_workload(
+      {"enterprise-make_env", 12, 12, /*topology seed=*/5, ""});
   murphy::bench::write_bench_json("runtime_scale");
   return 0;
 }

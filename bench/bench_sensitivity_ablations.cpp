@@ -56,6 +56,14 @@ int main() {
   const std::size_t n_each = bench::scaled(4, 16);
   std::fprintf(stderr, "building %zu cases...\n", 2 * n_each);
   const auto set = build_cases(n_each);
+  bench::stamp_workload({"hotel-reservation",
+                         set.cases.front().entities.services.size(),
+                         set.cases.front().entities.nodes.size(),
+                         /*sweep seed=*/41, "interference"});
+  bench::stamp_workload({"hotel-reservation",
+                         set.cases[n_each].entities.services.size(),
+                         set.cases[n_each].entities.nodes.size(),
+                         /*sweep seed=*/43, "contention"});
   const std::size_t samples = bench::full_scale() ? 400 : 120;
 
   core::MurphyOptions base;

@@ -43,7 +43,10 @@ int main() {
 
   emulation::InterferenceOptions sopts;
   const auto scenario = make_interference_case(sopts);
-  const std::size_t total_slices = scenario.db.metrics().axis().size();
+  bench::stamp_workload({"hotel-reservation",
+                         scenario.entities.services.size(),
+                         scenario.entities.nodes.size(), sopts.seed,
+                         "interference,streaming-replay"});
   // Warm start just past the incident ramp; the tail streams in during the
   // run, churning series epochs under the caches exactly as production would.
   service::ReplayFeed feed = service::make_replay_feed(

@@ -32,6 +32,9 @@ int main() {
   }
   std::fprintf(stderr, "building 13 incidents...\n");
   const auto dataset = enterprise::make_incident_dataset(opts);
+  bench::stamp_workload({"enterprise-incidents", opts.topology.num_apps,
+                         opts.topology.hosts, opts.seed,
+                         "operator-incidents-1-13"});
 
   auto schemes = bench::make_schemes(11);
   std::vector<core::Diagnoser*> comparable{

@@ -45,6 +45,12 @@ int main() {
   for (const auto& opts : sweep) {
     for (std::size_t d = 0; d < 5; ++d) {
       auto c = emulation::make_contention_case(opts);
+      if (i == 0 && d == 0)
+        bench::stamp_workload({"hotel-reservation",
+                               c.entities.services.size(),
+                               c.entities.nodes.size(), /*sweep seed=*/101,
+                               "contention,missing-values,missing-edge,"
+                               "missing-entity,missing-metric"});
       Rng rng(opts.seed ^ (0x9E37 * (d + 1)));
       eval::apply_degradation(c, degradations[d], rng);
       for (auto& row : rows) row.acc[d].add(eval::run_case(*row.scheme, c));

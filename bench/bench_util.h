@@ -71,6 +71,47 @@ inline SchemeSet make_schemes(std::uint64_t seed = 1) {
   return s;
 }
 
+// Workload provenance: which topology/scenario shape produced the numbers.
+// Benches stamp one entry per distinct workload (topology level, app model,
+// sweep...) before exiting; write_bench_json emits them under "workloads".
+// Without the stamp a snapshot says *how fast* but not *on what* — two
+// BENCH files with different node counts or fault mixes are not comparable.
+struct WorkloadInfo {
+  std::string topology;   // generator level or app-model name
+  std::size_t services = 0;
+  std::size_t nodes = 0;  // physical nodes hosting the containers
+  std::uint64_t seed = 0;
+  std::string fault_mix;  // comma-joined fault/incident kinds (may be empty)
+};
+
+inline std::vector<WorkloadInfo>& workload_stamps() {
+  static std::vector<WorkloadInfo> stamps;
+  return stamps;
+}
+
+inline void stamp_workload(WorkloadInfo info) {
+  workload_stamps().push_back(std::move(info));
+}
+
+inline std::string workloads_json() {
+  std::string out = "[";
+  bool first = true;
+  for (const WorkloadInfo& w : workload_stamps()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"topology\":";
+    obs::json_append_escaped(out, w.topology);
+    out += ",\"services\":" + std::to_string(w.services);
+    out += ",\"nodes\":" + std::to_string(w.nodes);
+    out += ",\"seed\":" + std::to_string(w.seed);
+    out += ",\"fault_mix\":";
+    obs::json_append_escaped(out, w.fault_mix);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
 // Provenance stamped into every snapshot (configure-time capture; see
 // bench/CMakeLists.txt).
 #ifndef MURPHY_GIT_SHA
@@ -102,6 +143,10 @@ inline void write_bench_json(const char* name) {
   obs::json_append_escaped(out, MURPHY_BUILD_FLAGS);
   out += ",\"num_threads\":";
   out += std::to_string(resolve_num_threads(0));
+  if (!workload_stamps().empty()) {
+    out += ",\"workloads\":";
+    out += workloads_json();
+  }
   out += ",\"metrics\":";
   out += obs::global_metrics().to_json();
   out += "}\n";

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare the deterministic matrix.* gauges of two battle-matrix snapshots.
+
+Usage: scripts/matrix_diff.py <a.json> <b.json>
+
+Only the matrix.* namespace is compared: those gauges (top-1/top-3/MRR/
+relaxed accuracy, case and service counts, routing flags) are pure functions
+of (MatrixOptions, scheme options) and must match bit-for-bit between runs
+and against the committed baseline. Everything else in the snapshot —
+matrix_latency.* wall-clock gauges, engine counters, phase timing histograms
+— legitimately varies run to run and is ignored.
+"""
+import json
+import sys
+
+
+def matrix_gauges(path):
+    with open(path) as f:
+        snap = json.load(f)
+    return {
+        name: entry["value"]
+        for name, entry in snap["metrics"].items()
+        if name.startswith("matrix.")
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <a.json> <b.json>", file=sys.stderr)
+        return 2
+    a = matrix_gauges(sys.argv[1])
+    b = matrix_gauges(sys.argv[2])
+    if not a or not b:
+        print("no matrix.* gauges found — wrong snapshot?", file=sys.stderr)
+        return 2
+    bad = 0
+    for name in sorted(set(a) | set(b)):
+        if name not in a or name not in b:
+            where = sys.argv[1] if name in a else sys.argv[2]
+            print(f"MISSING {name}: only in {where}")
+            bad += 1
+        elif a[name] != b[name]:
+            print(f"DIFF {name}: {a[name]} != {b[name]}")
+            bad += 1
+    if bad:
+        print(f"{bad} matrix gauge(s) differ", file=sys.stderr)
+        return 1
+    print(f"{len(a)} matrix gauges match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,10 @@
 #include "src/emulation/faults.h"
 
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/rng.h"
+
 namespace murphy::emulation {
 
 std::string_view fault_kind_name(FaultKind k) {
@@ -11,31 +16,239 @@ std::string_view fault_kind_name(FaultKind k) {
   return "unknown";
 }
 
+double Fault::intensity_at(TimeIndex t) const {
+  if (!active_at(t)) return 0.0;
+  if (ramp_slices == 0) return intensity;
+  const std::size_t into = t - start;
+  if (into >= ramp_slices) return intensity;
+  // Linear ramp; the +1 keeps the first slice nonzero so the fault window
+  // and the perturbation window coincide exactly.
+  return intensity * static_cast<double>(into + 1) /
+         static_cast<double>(ramp_slices);
+}
+
 ContainerPressure pressure_at(const std::vector<Fault>& faults,
                               ContainerIdx container, double cpu_limit_cores,
                               TimeIndex t) {
   ContainerPressure p;
   for (const Fault& f : faults) {
     if (f.target != container || !f.active_at(t)) continue;
+    const double intensity = f.intensity_at(t);
     switch (f.kind) {
       case FaultKind::kCpuStress:
-        p.cpu_cores += f.intensity * cpu_limit_cores;
+        p.cpu_cores += intensity * cpu_limit_cores;
         break;
       case FaultKind::kMemStress:
-        p.mem_fraction += f.intensity;
+        p.mem_fraction += intensity;
         // Memory pressure causes paging: page faults and reclaim burn a
         // large share of the container's CPU budget, which is what makes
         // stress-ng --vm degrade co-located request serving.
-        p.cpu_cores += 0.7 * f.intensity * cpu_limit_cores;
+        p.cpu_cores += 0.7 * intensity * cpu_limit_cores;
         break;
       case FaultKind::kDiskStress:
-        p.disk_mbps += f.intensity * 100.0;
+        p.disk_mbps += intensity * 100.0;
         // IO-wait and kernel block-layer work steal substantial CPU.
-        p.cpu_cores += 0.6 * f.intensity * cpu_limit_cores;
+        p.cpu_cores += 0.6 * intensity * cpu_limit_cores;
         break;
     }
   }
   return p;
+}
+
+std::string_view incident_kind_name(IncidentKind k) {
+  switch (k) {
+    case IncidentKind::kSingleContention: return "single_contention";
+    case IncidentKind::kCorrelatedMultiRoot: return "correlated_multi_root";
+    case IncidentKind::kSlowBurn: return "slow_burn";
+    case IncidentKind::kRetryStorm: return "retry_storm";
+    case IncidentKind::kCascade: return "cascade";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Containers of the services one hop UPSTREAM of any service hosted on
+// `origin` — the callers whose queues back up when the origin browns out.
+std::vector<ContainerIdx> upstream_containers(const AppModel& app,
+                                              ContainerIdx origin) {
+  std::vector<ContainerIdx> out;
+  for (const CallEdge& e : app.call_edges) {
+    if (app.services[e.callee].container != origin) continue;
+    const ContainerIdx c = app.services[e.caller].container;
+    if (c == origin) continue;
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+// True when `client`'s call tree reaches any service hosted on `target`.
+bool client_touches_container(const AppModel& app, const ClientSpec& client,
+                              ContainerIdx target) {
+  for (const ServiceIdx s : app.call_tree(client.entry_service))
+    if (app.services[s].container == target) return true;
+  return false;
+}
+
+Fault base_fault(Rng& rng, ContainerIdx target, const IncidentOptions& opts) {
+  Fault f;
+  f.kind = static_cast<FaultKind>(rng.below(3));
+  f.target = target;
+  f.start = opts.start;
+  f.duration = opts.duration;
+  f.intensity = opts.intensity;
+  return f;
+}
+
+}  // namespace
+
+IncidentPlan plan_incident(const AppModel& app,
+                           const std::vector<ContainerIdx>& candidates,
+                           const IncidentOptions& opts) {
+  assert(!candidates.empty() && "incident needs root candidates");
+  Rng rng(opts.seed);
+  IncidentPlan plan;
+  plan.kind = opts.kind;
+  plan.start = opts.start;
+  plan.end = opts.start + opts.duration;
+
+  switch (opts.kind) {
+    case IncidentKind::kSingleContention: {
+      const ContainerIdx target = candidates[rng.below(candidates.size())];
+      plan.faults.push_back(base_fault(rng, target, opts));
+      plan.root_containers.push_back(target);
+      break;
+    }
+
+    case IncidentKind::kCorrelatedMultiRoot: {
+      // Draw `num_roots` DISTINCT containers; every one is ground truth.
+      // The windows overlap but are jittered a little so the onsets are not
+      // suspiciously synchronized.
+      std::vector<ContainerIdx> pool = candidates;
+      const std::size_t roots = std::min(opts.num_roots, pool.size());
+      for (std::size_t i = 0; i < roots; ++i) {
+        const std::size_t pick = rng.below(pool.size());
+        const ContainerIdx target = pool[pick];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+        Fault f = base_fault(rng, target, opts);
+        const std::size_t jitter = rng.below(5);
+        f.start = opts.start + jitter;
+        f.duration = opts.duration > jitter ? opts.duration - jitter : 1;
+        plan.faults.push_back(f);
+        plan.root_containers.push_back(target);
+      }
+      break;
+    }
+
+    case IncidentKind::kSlowBurn: {
+      const ContainerIdx target = candidates[rng.below(candidates.size())];
+      Fault f = base_fault(rng, target, opts);
+      // Memory-leak-like shapes are the canonical slow burn; bias toward
+      // mem/disk so the symptom builds through paging and IO-wait.
+      f.kind = rng.chance(0.5) ? FaultKind::kMemStress : FaultKind::kDiskStress;
+      // Ramp over ~80% of the window: the full-intensity plateau is short.
+      f.ramp_slices = std::max<std::size_t>(opts.duration * 4 / 5, 1);
+      plan.faults.push_back(f);
+      plan.root_containers.push_back(target);
+      break;
+    }
+
+    case IncidentKind::kRetryStorm: {
+      // Brown out one backend, then amplify every client whose call tree
+      // touches it. The amplified load spreads pressure over the whole
+      // graph; the scheme must still point at the browned-out container,
+      // not at the loudly retrying clients.
+      ContainerIdx target = candidates[rng.below(candidates.size())];
+      // Prefer a backend some client actually depends on; otherwise the
+      // storm never ignites and the incident degenerates to contention.
+      for (std::size_t attempt = 0;
+           attempt < candidates.size() && !app.clients.empty(); ++attempt) {
+        bool touched = false;
+        for (const ClientSpec& cl : app.clients)
+          if (client_touches_container(app, cl, target)) touched = true;
+        if (touched) break;
+        target = candidates[rng.below(candidates.size())];
+      }
+      Fault f = base_fault(rng, target, opts);
+      f.kind = FaultKind::kCpuStress;  // brown-out = starved of cycles
+      plan.faults.push_back(f);
+      plan.root_containers.push_back(target);
+      for (ClientIdx cl = 0; cl < app.clients.size(); ++cl) {
+        if (!client_touches_container(app, app.clients[cl], target)) continue;
+        ClientAmplification amp;
+        amp.client = cl;
+        // Retries start a few slices after the brown-out begins (timeouts
+        // must fire first) and persist through the window.
+        amp.start = opts.start + 2;
+        amp.duration = opts.duration > 2 ? opts.duration - 2 : 1;
+        amp.factor = opts.retry_amplification * rng.uniform(0.85, 1.15);
+        plan.amplifications.push_back(amp);
+      }
+      break;
+    }
+
+    case IncidentKind::kCascade: {
+      const ContainerIdx origin = candidates[rng.below(candidates.size())];
+      plan.faults.push_back(base_fault(rng, origin, opts));
+      plan.root_containers.push_back(origin);
+      // Induced faults spread upstream hop by hop: weaker, delayed, and
+      // explicitly NOT ground truth.
+      std::vector<ContainerIdx> frontier{origin};
+      std::vector<ContainerIdx> seen{origin};
+      double induced = opts.intensity * 0.6;
+      TimeIndex onset = opts.start;
+      for (std::size_t hop = 0; hop < opts.cascade_depth; ++hop) {
+        onset += 4 + rng.below(4);  // queue buildup takes a few slices
+        std::vector<ContainerIdx> next;
+        for (const ContainerIdx c : frontier) {
+          for (const ContainerIdx up : upstream_containers(app, c)) {
+            if (std::find(seen.begin(), seen.end(), up) != seen.end())
+              continue;
+            seen.push_back(up);
+            next.push_back(up);
+            Fault f;
+            f.kind = FaultKind::kCpuStress;  // queued work burns CPU
+            f.target = up;
+            f.start = onset;
+            f.duration = plan.end > onset
+                             ? static_cast<std::size_t>(plan.end - onset)
+                             : 1;
+            f.intensity = induced * rng.uniform(0.8, 1.0);
+            plan.faults.push_back(f);
+            plan.secondary_containers.push_back(up);
+          }
+        }
+        frontier = std::move(next);
+        induced *= 0.6;
+        if (frontier.empty()) break;
+      }
+      break;
+    }
+  }
+
+  // Incident window = union of the ROOT faults' windows (secondaries are
+  // inside it by construction).
+  plan.start = plan.faults.front().start;
+  plan.end = plan.faults.front().start + plan.faults.front().duration;
+  for (std::size_t i = 0; i < plan.root_containers.size() &&
+                          i < plan.faults.size();
+       ++i) {
+    plan.start = std::min(plan.start, plan.faults[i].start);
+    plan.end = std::max(plan.end, plan.faults[i].start +
+                                      plan.faults[i].duration);
+  }
+  return plan;
+}
+
+void apply_amplifications(AppModel& app,
+                          const std::vector<ClientAmplification>& amps) {
+  for (const ClientAmplification& amp : amps) {
+    assert(amp.client < app.clients.size());
+    std::vector<double>& sched = app.clients[amp.client].rps_schedule;
+    const TimeIndex stop =
+        std::min<TimeIndex>(amp.start + amp.duration, sched.size());
+    for (TimeIndex t = amp.start; t < stop; ++t) sched[t] *= amp.factor;
+  }
 }
 
 }  // namespace murphy::emulation

@@ -1,12 +1,24 @@
 // Fault injection for the microservice simulator.
 //
-// Two families, mirroring §5.1.2:
-//  * resource contention — stress-ng-style CPU / memory / disk pressure on a
-//    chosen container for a bounded window;
-//  * performance interference — an aggressive client ramping its request
-//    rate, overwhelming downstream services shared with a victim client.
-// Interference is expressed through client RPS schedules (see workload.h);
-// this header covers the container-local resource faults.
+// Two layers:
+//
+//  * Fault — one container-local perturbation primitive, mirroring §5.1.2:
+//    stress-ng-style CPU / memory / disk pressure on a chosen container for
+//    a bounded window, optionally ramping up over `ramp_slices` (the
+//    slow-burn shape real degradations — leaks, fragmenting heaps, filling
+//    disks — take).
+//  * IncidentPlan — a scripted *incident* composed of primitives plus its
+//    operator-facing ground truth. Beyond the single-contention incidents
+//    of the paper's evaluation, the planner produces the messier shapes the
+//    RCA-benchmark literature sweeps ("How Far Are We?", PAPERS.md):
+//    correlated multi-root incidents (every root is ground truth),
+//    slow-burn degradations, retry storms (a browned-out backend plus
+//    client-side load amplification), and cascading failures (only the
+//    origin is ground truth; the induced secondaries are effects).
+//
+// Performance interference is expressed through client RPS schedules (see
+// workload.h); the retry-storm plan bridges the two by emitting client
+// amplification directives alongside its container fault.
 #pragma once
 
 #include <cstddef>
@@ -30,10 +42,17 @@ struct Fault {
   // Fraction of the container's CPU limit consumed (CPU stress), or fraction
   // of memory filled (mem), or MB/s of disk traffic injected (disk).
   double intensity = 0.6;
+  // Slow-burn support: the effective intensity ramps linearly from ~0 to
+  // `intensity` over the first `ramp_slices` of the active window. 0 keeps
+  // the historical step shape (full intensity from the first slice).
+  std::size_t ramp_slices = 0;
 
   [[nodiscard]] bool active_at(TimeIndex t) const {
     return t >= start && t < start + duration;
   }
+  // Effective intensity at slice t: 0 outside the window, the ramped
+  // fraction inside it.
+  [[nodiscard]] double intensity_at(TimeIndex t) const;
 };
 
 // The contention a set of faults exerts on one container at time t.
@@ -47,5 +66,86 @@ struct ContainerPressure {
                                             ContainerIdx container,
                                             double cpu_limit_cores,
                                             TimeIndex t);
+
+// ---------------------------------------------------------------------------
+// Incident planning — composed fault shapes with ground-truth labels.
+
+enum class IncidentKind : std::uint8_t {
+  // One stress fault on one container (the paper's §6.3 shape).
+  kSingleContention,
+  // `num_roots` independent faults on distinct containers overlapping in
+  // time. Ground truth labels EVERY root: an operator fixing only one of a
+  // correlated pair has not resolved the incident.
+  kCorrelatedMultiRoot,
+  // One fault ramping over most of its window — no sharp onset for
+  // change-point-style detectors to anchor on.
+  kSlowBurn,
+  // A backend brown-out whose clients amplify their offered load (retries),
+  // spreading pressure across the whole call graph. Ground truth is the
+  // browned-out container, not the (symptomatic) amplified clients.
+  kRetryStorm,
+  // An origin fault plus delayed, weaker induced faults on the containers
+  // of upstream caller services (queue buildup propagating backwards).
+  // Ground truth labels ONLY the origin; the secondaries are effects.
+  kCascade,
+};
+
+[[nodiscard]] std::string_view incident_kind_name(IncidentKind k);
+
+struct IncidentOptions {
+  IncidentKind kind = IncidentKind::kSingleContention;
+  std::uint64_t seed = 1;
+  TimeIndex start = 180;
+  std::size_t duration = 45;
+  double intensity = 1.2;
+  // kCorrelatedMultiRoot: number of independent simultaneous roots.
+  std::size_t num_roots = 2;
+  // kCascade: how many hops upstream the induced faults spread.
+  std::size_t cascade_depth = 2;
+  // kRetryStorm: multiplicative load factor on affected clients' schedules.
+  double retry_amplification = 2.5;
+};
+
+// A client whose offered load must be multiplied by `factor` over
+// [start, start + duration) before simulation — the retry traffic a
+// browned-out backend provokes.
+struct ClientAmplification {
+  ClientIdx client = 0;
+  TimeIndex start = 0;
+  std::size_t duration = 0;
+  double factor = 1.0;
+};
+
+struct IncidentPlan {
+  IncidentKind kind = IncidentKind::kSingleContention;
+  std::vector<Fault> faults;
+  // Operator ground truth: the containers whose perturbation IS the
+  // incident. Correlated incidents list every independent root; cascades
+  // list only the origin.
+  std::vector<ContainerIdx> root_containers;
+  // Containers that receive induced (secondary) faults but are NOT ground
+  // truth — cascade spread. Acceptable as relaxed near-misses only.
+  std::vector<ContainerIdx> secondary_containers;
+  // Load multipliers to apply to client schedules before simulating
+  // (kRetryStorm; empty otherwise).
+  std::vector<ClientAmplification> amplifications;
+  // Incident window (union of the root faults' active windows).
+  TimeIndex start = 0;
+  TimeIndex end = 0;
+};
+
+// Plans one incident over `app`. `candidates` are the containers eligible
+// as roots (typically the service-hosting containers); must be non-empty.
+// Every draw derives from opts.seed alone, so a given (app, candidates,
+// opts) plans identically on every run. `app.clients` must already be
+// populated when planning a retry storm (the amplification set derives from
+// the clients' call trees).
+[[nodiscard]] IncidentPlan plan_incident(
+    const AppModel& app, const std::vector<ContainerIdx>& candidates,
+    const IncidentOptions& opts);
+
+// Applies `amp` to the matching clients' rps_schedules in place.
+void apply_amplifications(AppModel& app,
+                          const std::vector<ClientAmplification>& amps);
 
 }  // namespace murphy::emulation

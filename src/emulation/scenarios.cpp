@@ -88,6 +88,7 @@ DiagnosisCase make_interference_case(const InterferenceOptions& opts) {
   c.symptom_entity = res.entities.clients[1];  // client B
   c.symptom_metric = std::string(telemetry::metrics::kLatency);
   c.root_cause = res.entities.clients[0];      // client A's high RPS load
+  c.all_roots.push_back(c.root_cause);
   c.incident_start = opts.ramp_at;
   c.incident_end = opts.slices;
 
@@ -189,6 +190,7 @@ DiagnosisCase make_contention_case(const ContentionOptions& opts) {
   c.symptom_entity = res.entities.clients[0];
   c.symptom_metric = std::string(telemetry::metrics::kLatency);
   c.root_cause = res.entities.containers[target];
+  c.all_roots.push_back(c.root_cause);
   c.relaxed_set.push_back(c.root_cause);
   // The service(s) on the faulted container are acceptable near-misses.
   for (std::size_t s = 0; s < app.services.size(); ++s)

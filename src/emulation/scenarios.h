@@ -31,8 +31,12 @@ struct DiagnosisCase {
   EntityId symptom_entity;
   std::string symptom_metric;
 
-  // Operator ground truth.
+  // Operator ground truth. Incidents may have SEVERAL independent roots
+  // (correlated faults, see faults.h); `all_roots` lists every one and
+  // `root_cause` stays the first for single-root consumers. Builders always
+  // fill both.
   EntityId root_cause;
+  std::vector<EntityId> all_roots;
   // Entities accepted by the "relaxed" criteria of §6.1 (common services /
   // common containers on the interference path), root cause included.
   std::vector<EntityId> relaxed_set;
@@ -40,6 +44,12 @@ struct DiagnosisCase {
   // Incident timing (slice indices).
   TimeIndex incident_start = 0;
   TimeIndex incident_end = 0;
+
+  // Dependency-walk hop budget for the diagnosis request. The two hand-built
+  // apps fit the engine default; generated tiered topologies are deeper
+  // (client -> gateway -> k mid layers -> datastore -> container) and set
+  // this from their layer depth so the true root is inside the neighborhood.
+  std::size_t max_hops = 4;
 };
 
 struct InterferenceOptions {

@@ -1,0 +1,439 @@
+#include "src/emulation/topo_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "src/emulation/workload.h"
+#include "src/telemetry/metric_catalog.h"
+
+namespace murphy::emulation {
+namespace {
+
+constexpr std::size_t kSharedApp = SIZE_MAX;
+
+std::string_view tier_prefix(ServiceTier t) {
+  switch (t) {
+    case ServiceTier::kGateway: return "gw";
+    case ServiceTier::kMid: return "svc";
+    case ServiceTier::kDatastore: return "db";
+    case ServiceTier::kSharedInfra: return "infra";
+  }
+  return "svc";
+}
+
+// Geometric out-degree in [1, cap]: P(d = k) ~ continue^(k-1).
+std::size_t draw_fanout(Rng& rng, double cont, std::size_t cap) {
+  std::size_t d = 1;
+  while (d < cap && rng.chance(cont)) ++d;
+  return d;
+}
+
+// Preferential-attachment pick: candidate weight = in_degree + 1, so shared
+// backends accumulate callers the way real ones do. Deterministic given the
+// rng stream and the candidate order.
+ServiceIdx pick_preferential(Rng& rng, const std::vector<ServiceIdx>& pool,
+                             const std::vector<std::size_t>& in_degree) {
+  assert(!pool.empty());
+  std::size_t total = 0;
+  for (const ServiceIdx s : pool) total += in_degree[s] + 1;
+  std::size_t roll = rng.below(total);
+  for (const ServiceIdx s : pool) {
+    const std::size_t w = in_degree[s] + 1;
+    if (roll < w) return s;
+    roll -= w;
+  }
+  return pool.back();
+}
+
+struct ServicePlan {
+  ServiceTier tier;
+  std::size_t app;    // kSharedApp for the infra tier
+  std::size_t layer;  // global layer index; edges go strictly forward
+};
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+}
+
+void fnv_str(std::uint64_t& h, const std::string& s) {
+  fnv_bytes(h, s.data(), s.size());
+  const char sep = '\0';
+  fnv_bytes(h, &sep, 1);
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, 8); }
+
+void fnv_f64(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  fnv_u64(h, bits);
+}
+
+}  // namespace
+
+GeneratedTopology generate_topology(const TopoGenOptions& opts) {
+  GeneratedTopology topo;
+  topo.opts = opts;
+  AppModel& app = topo.app;
+  Rng rng(opts.seed);
+
+  const std::size_t apps = std::max<std::size_t>(opts.applications, 1);
+  // Tier sizing. Clamps guarantee >= 1 gateway + 1 mid + 1 datastore per
+  // application even for tiny `services` values.
+  const std::size_t min_services = apps * 3 + 1;
+  const std::size_t total = std::max(opts.services, min_services);
+  std::size_t n_infra = std::max<std::size_t>(
+      static_cast<std::size_t>(std::lround(
+          static_cast<double>(total) * opts.shared_infra_fraction)),
+      1);
+  std::size_t n_data = std::max<std::size_t>(
+      static_cast<std::size_t>(
+          std::lround(static_cast<double>(total) * opts.datastore_fraction)),
+      apps);
+  if (n_infra + n_data + 2 * apps > total)
+    n_data = total > n_infra + 2 * apps ? total - n_infra - 2 * apps : apps;
+  const std::size_t n_gateway = apps;  // one entry per application
+  const std::size_t n_mid = total - n_gateway - n_data - n_infra;
+  const std::size_t mid_layers = std::max<std::size_t>(
+      std::min(opts.mid_layers, n_mid / apps == 0 ? 1 : n_mid / apps), 1);
+
+  // Layer plan: layer 0 = gateways, layers 1..mid_layers = mids,
+  // mid_layers+1 = datastores, mid_layers+2 = shared infra. Every edge goes
+  // from a strictly smaller layer to a strictly larger one => DAG, no
+  // self-loops, by construction.
+  app.name = "enterprise-" + std::to_string(total) + "s" +
+             std::to_string(apps) + "a-" + std::to_string(opts.seed);
+  std::vector<ServicePlan> plan;
+  plan.reserve(total);
+  for (std::size_t a = 0; a < apps; ++a)
+    plan.push_back({ServiceTier::kGateway, a, 0});
+  // Mid services round-robin across applications, spread over layers as
+  // evenly as the count allows (earlier layers get the remainder).
+  for (std::size_t i = 0; i < n_mid; ++i) {
+    const std::size_t a = i % apps;
+    const std::size_t layer = 1 + (i / apps) % mid_layers;
+    plan.push_back({ServiceTier::kMid, a, layer});
+  }
+  for (std::size_t i = 0; i < n_data; ++i)
+    plan.push_back({ServiceTier::kDatastore, i % apps, mid_layers + 1});
+  for (std::size_t i = 0; i < n_infra; ++i)
+    plan.push_back({ServiceTier::kSharedInfra, kSharedApp, mid_layers + 2});
+
+  // Nodes: services interleave across them round-robin, so one node hosts
+  // containers of several applications — the shared-hardware coupling the
+  // enterprise setting needs.
+  const std::size_t per_node = std::max<std::size_t>(opts.services_per_node, 1);
+  const std::size_t n_nodes = (total + per_node - 1) / per_node;
+  for (std::size_t n = 0; n < n_nodes; ++n)
+    app.nodes.push_back(NodeSpec{"node-" + std::to_string(n),
+                                 opts.node_cores});
+
+  // Services + one container each. Per-tier cost/latency profiles with a
+  // little per-service jitter; every draw comes from `rng` in plan order.
+  std::vector<std::size_t> tier_counter(4, 0);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const ServicePlan& p = plan[i];
+    const std::size_t tier_i = tier_counter[static_cast<std::size_t>(p.tier)]++;
+    std::string name =
+        p.app == kSharedApp ? std::string("shared") : "app" + std::to_string(p.app);
+    name += ".";
+    name += tier_prefix(p.tier);
+    name += std::to_string(tier_i);
+
+    ContainerSpec c;
+    c.name = name + "-ctr";
+    c.node = i % n_nodes;
+    c.cpu_limit_cores = p.tier == ServiceTier::kDatastore
+                            ? rng.uniform(1.5, 2.5)
+                            : rng.uniform(0.8, 1.6);
+    app.containers.push_back(c);
+
+    ServiceSpec s;
+    s.name = std::move(name);
+    switch (p.tier) {
+      case ServiceTier::kGateway:
+        s.base_latency_ms = rng.uniform(0.8, 1.5);
+        s.cpu_cost_per_req = rng.uniform(0.001, 0.002);
+        break;
+      case ServiceTier::kMid:
+        s.base_latency_ms = rng.uniform(1.0, 3.0);
+        s.cpu_cost_per_req = rng.uniform(0.002, 0.005);
+        break;
+      case ServiceTier::kDatastore:
+        s.base_latency_ms = rng.uniform(1.5, 4.0);
+        s.cpu_cost_per_req = rng.uniform(0.003, 0.006);
+        break;
+      case ServiceTier::kSharedInfra:
+        s.base_latency_ms = rng.uniform(0.3, 1.0);
+        s.cpu_cost_per_req = rng.uniform(0.001, 0.003);
+        break;
+    }
+    s.container = app.containers.size() - 1;
+    app.services.push_back(s);
+    topo.tier.push_back(p.tier);
+    topo.app_of.push_back(p.app);
+    if (p.tier == ServiceTier::kGateway)
+      topo.gateways.push_back(app.services.size() - 1);
+  }
+
+  // Edges. For each service, the callable pool is every service of a
+  // strictly LATER layer within the same application, plus datastores of
+  // the same application and the shared infra tier. Fan-out is geometric;
+  // callees picked preferentially by current in-degree.
+  std::vector<std::size_t> in_degree(total, 0);
+  auto add_edge = [&](ServiceIdx a, ServiceIdx b, double fanout) {
+    app.call_edges.push_back(CallEdge{a, b, fanout});
+    ++in_degree[b];
+  };
+
+  for (ServiceIdx s = 0; s < plan.size(); ++s) {
+    if (plan[s].tier == ServiceTier::kDatastore) {
+      // Datastores only reach shared infra, and only sometimes (backup
+      // agents, config watchers).
+      if (n_infra > 0 && rng.chance(0.3)) {
+        std::vector<ServiceIdx> pool;
+        for (ServiceIdx t = 0; t < plan.size(); ++t)
+          if (plan[t].tier == ServiceTier::kSharedInfra) pool.push_back(t);
+        add_edge(s, pick_preferential(rng, pool, in_degree),
+                 rng.uniform(0.1, 0.4));
+      }
+      continue;
+    }
+    if (plan[s].tier == ServiceTier::kSharedInfra) continue;  // leaf tier
+
+    std::vector<ServiceIdx> pool;
+    for (ServiceIdx t = 0; t < plan.size(); ++t) {
+      if (plan[t].layer <= plan[s].layer) continue;
+      const bool same_app = plan[t].app == plan[s].app;
+      const bool shared = plan[t].app == kSharedApp;
+      if (same_app || shared) pool.push_back(t);
+    }
+    if (pool.empty()) continue;
+    const std::size_t cap = plan[s].tier == ServiceTier::kGateway
+                                ? std::max<std::size_t>(opts.max_fanout, 2)
+                                : opts.max_fanout;
+    std::size_t fanout = plan[s].tier == ServiceTier::kGateway
+                             ? std::max<std::size_t>(
+                                   draw_fanout(rng, 0.75, cap), 2)
+                             : draw_fanout(rng, opts.fanout_continue, cap);
+    fanout = std::min(fanout, pool.size());
+    std::vector<ServiceIdx> picked;
+    for (std::size_t k = 0; k < fanout; ++k) {
+      ServiceIdx t = pick_preferential(rng, pool, in_degree);
+      if (std::find(picked.begin(), picked.end(), t) != picked.end())
+        continue;  // duplicate draw: fewer edges, never a multi-edge
+      picked.push_back(t);
+      add_edge(s, t, rng.chance(0.3) ? rng.uniform(0.2, 0.9) : 1.0);
+    }
+  }
+
+  // Connectivity repair: every non-gateway needs at least one caller from
+  // an earlier layer of its own application (gateway for layer-1, any
+  // earlier same-app service otherwise; shared infra accepts any app).
+  // Deterministic: services scanned in index order, caller drawn from rng.
+  for (ServiceIdx s = 0; s < plan.size(); ++s) {
+    if (plan[s].tier == ServiceTier::kGateway || in_degree[s] > 0) continue;
+    std::vector<ServiceIdx> callers;
+    for (ServiceIdx t = 0; t < plan.size(); ++t) {
+      if (plan[t].layer >= plan[s].layer) continue;
+      if (plan[t].tier == ServiceTier::kDatastore) continue;
+      const bool same_app =
+          plan[s].app == kSharedApp || plan[t].app == plan[s].app;
+      if (same_app) callers.push_back(t);
+    }
+    assert(!callers.empty() && "layer 0 gateways always precede");
+    add_edge(callers[rng.below(callers.size())], s, rng.uniform(0.3, 1.0));
+  }
+
+  // Reachability repair: preferential attachment plus the in-degree pass
+  // guarantees callers, but a subtree hanging off an unreachable mid chain
+  // is still possible in principle; walk from the gateways and wire any
+  // unreached service to a reached earlier-layer one.
+  std::vector<bool> reached(total, false);
+  auto mark = [&](ServiceIdx g) {
+    for (const ServiceIdx s : app.call_tree(g)) reached[s] = true;
+  };
+  for (const ServiceIdx g : topo.gateways) mark(g);
+  for (ServiceIdx s = 0; s < plan.size(); ++s) {
+    if (reached[s]) continue;
+    std::vector<ServiceIdx> callers;
+    for (ServiceIdx t = 0; t < plan.size(); ++t)
+      if (reached[t] && plan[t].layer < plan[s].layer &&
+          plan[t].tier != ServiceTier::kDatastore)
+        callers.push_back(t);
+    assert(!callers.empty());
+    const ServiceIdx caller = callers[rng.below(callers.size())];
+    add_edge(caller, s, rng.uniform(0.3, 1.0));
+    mark(s);
+    reached[s] = true;
+  }
+
+  return topo;
+}
+
+std::uint64_t topology_digest(const AppModel& app) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  fnv_str(h, app.name);
+  fnv_u64(h, app.services.size());
+  for (const ServiceSpec& s : app.services) {
+    fnv_str(h, s.name);
+    fnv_f64(h, s.base_latency_ms);
+    fnv_f64(h, s.cpu_cost_per_req);
+    fnv_f64(h, s.mem_base);
+    fnv_f64(h, s.mem_per_rps);
+    fnv_u64(h, s.container);
+  }
+  fnv_u64(h, app.call_edges.size());
+  for (const CallEdge& e : app.call_edges) {
+    fnv_u64(h, e.caller);
+    fnv_u64(h, e.callee);
+    fnv_f64(h, e.calls_per_request);
+  }
+  fnv_u64(h, app.containers.size());
+  for (const ContainerSpec& c : app.containers) {
+    fnv_str(h, c.name);
+    fnv_u64(h, c.node);
+    fnv_f64(h, c.cpu_limit_cores);
+  }
+  fnv_u64(h, app.nodes.size());
+  for (const NodeSpec& n : app.nodes) {
+    fnv_str(h, n.name);
+    fnv_f64(h, n.cpu_cores);
+  }
+  fnv_u64(h, app.clients.size());
+  for (const ClientSpec& c : app.clients) {
+    fnv_str(h, c.name);
+    fnv_u64(h, c.entry_service);
+    fnv_u64(h, c.rps_schedule.size());
+    for (const double v : c.rps_schedule) fnv_f64(h, v);
+  }
+  return h;
+}
+
+DiagnosisCase make_topology_case(const GeneratedTopology& topo,
+                                 const TopologyCaseOptions& opts) {
+  AppModel app = topo.app;  // local copy: clients + schedules are per-case
+  Rng rng(opts.seed);
+
+  // One open-loop client per gateway; diurnal-ish load with jitter so the
+  // environment carries several variance sources.
+  for (std::size_t g = 0; g < topo.gateways.size(); ++g) {
+    ClientSpec cl;
+    cl.name = "client-app" + std::to_string(g);
+    cl.entry_service = topo.gateways[g];
+    cl.rps_schedule =
+        diurnal_load(opts.slices, opts.gateway_rps * rng.uniform(0.8, 1.2),
+                     0.3, 80 + rng.below(60), 0.1, rng);
+    app.clients.push_back(cl);
+  }
+
+  // Root candidates: mid and datastore containers (a faulted gateway makes
+  // the symptom trivially adjacent; infra roots stay possible through
+  // cascades but are rarely the stress target in the literature's sweeps).
+  std::vector<ContainerIdx> candidates;
+  for (ServiceIdx s = 0; s < app.services.size(); ++s)
+    if (topo.tier[s] == ServiceTier::kMid ||
+        topo.tier[s] == ServiceTier::kDatastore)
+      candidates.push_back(app.services[s].container);
+  assert(!candidates.empty());
+
+  IncidentOptions iopts;
+  iopts.kind = opts.fault;
+  iopts.seed = rng();
+  iopts.start = opts.slices * 2 / 3;
+  iopts.duration = std::min(opts.incident_duration,
+                            opts.slices - iopts.start);
+  iopts.intensity = opts.intensity;
+  iopts.num_roots = opts.num_roots;
+  IncidentPlan plan = plan_incident(app, candidates, iopts);
+  apply_amplifications(app, plan.amplifications);
+
+  SimOptions sim;
+  sim.slices = opts.slices;
+  sim.noise = opts.noise;
+  sim.seed = rng();
+  sim.bidirectional_call_edges = topo.opts.bidirectional_call_edges;
+  SimResult res = simulate(app, plan.faults, sim);
+
+  DiagnosisCase c;
+  c.name = std::string("topo-") + app.name + "-" +
+           std::string(incident_kind_name(opts.fault));
+  c.entities = res.entities;
+
+  // Symptom: the client whose call tree reaches the first root container —
+  // the user actually hurt by the incident. Fallback (possible only for
+  // infra-tier cascade roots): the client with the largest relative latency
+  // degradation inside the incident window.
+  ClientIdx symptom_client = app.clients.size();
+  for (ClientIdx cl = 0; cl < app.clients.size(); ++cl) {
+    for (const ServiceIdx s : app.call_tree(app.clients[cl].entry_service)) {
+      if (app.services[s].container == plan.root_containers.front()) {
+        symptom_client = cl;
+        break;
+      }
+    }
+    if (symptom_client < app.clients.size()) break;
+  }
+  if (symptom_client == app.clients.size()) {
+    double worst = -1.0;
+    for (ClientIdx cl = 0; cl < app.clients.size(); ++cl) {
+      double before = 0.0, during = 0.0;
+      std::size_t nb = 0, nd = 0;
+      for (TimeIndex t = 0; t < opts.slices; ++t) {
+        if (t < plan.start) {
+          before += res.client_latency[cl][t];
+          ++nb;
+        } else if (t < plan.end) {
+          during += res.client_latency[cl][t];
+          ++nd;
+        }
+      }
+      const double ratio =
+          nb > 0 && nd > 0 && before > 0.0
+              ? (during / static_cast<double>(nd)) /
+                    (before / static_cast<double>(nb))
+              : 0.0;
+      if (ratio > worst) {
+        worst = ratio;
+        symptom_client = cl;
+      }
+    }
+  }
+  c.symptom_entity = res.entities.clients[symptom_client];
+  c.symptom_metric = std::string(telemetry::metrics::kLatency);
+
+  // Ground truth per the plan: every root container. Relaxed set adds the
+  // services hosted on root containers plus cascade secondaries (effects an
+  // operator would accept as near-misses, never as the answer).
+  for (const ContainerIdx root : plan.root_containers)
+    c.all_roots.push_back(res.entities.containers[root]);
+  c.root_cause = c.all_roots.front();
+  c.relaxed_set = c.all_roots;
+  for (ServiceIdx s = 0; s < app.services.size(); ++s) {
+    const ContainerIdx ctr = app.services[s].container;
+    const bool on_root =
+        std::find(plan.root_containers.begin(), plan.root_containers.end(),
+                  ctr) != plan.root_containers.end();
+    if (on_root) c.relaxed_set.push_back(res.entities.services[s]);
+  }
+  for (const ContainerIdx sec : plan.secondary_containers)
+    c.relaxed_set.push_back(res.entities.containers[sec]);
+
+  c.incident_start = plan.start;
+  c.incident_end = plan.end;
+  // Hop budget to cover the deepest dependency chain the symptom can see:
+  // client -> gateway -> mid_layers services -> datastore -> container, plus
+  // one hop of slack for node/amplification detours.
+  c.max_hops = topo.opts.mid_layers + 5;
+  c.db = std::move(res.db);
+  return c;
+}
+
+}  // namespace murphy::emulation

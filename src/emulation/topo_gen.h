@@ -1,0 +1,121 @@
+// Parameterized microservice-topology generator.
+//
+// The hand-built DeathStarBench models (app_model.h) top out at the paper's
+// scale — 8 and 24 services. Production RCA must hold up on Sage-scale
+// graphs: hundreds of services, skewed fan-in on shared backends, tiered
+// architectures, and several applications of one enterprise sharing
+// infrastructure. generate_topology() produces such graphs from a seed:
+//
+//  * tiers: per-application gateways -> layered mid services -> datastores,
+//    plus one enterprise-wide shared-infrastructure tier (auth, config,
+//    message bus, ...) reachable from every application;
+//  * degree distribution: out-degree drawn from a capped geometric (most
+//    services call 1-3 others, a few fan out wide); callees chosen by
+//    preferential attachment, so fan-IN is heavy-tailed the way real shared
+//    backends are;
+//  * invariants, relied on by the property suite (tests/topo_gen_test.cpp):
+//    call edges always point from an earlier layer to a strictly later one
+//    (the graph is a DAG), every service is reachable from some gateway,
+//    every non-gateway has at least one caller, no self-loops, and every
+//    container hosts exactly one service (no orphans — the PR 4 ingest
+//    guards must never fire on generated graphs);
+//  * determinism: every draw derives from TopoGenOptions::seed; identical
+//    options produce byte-identical AppModels (topology_digest()).
+//
+// make_topology_case() turns a generated topology plus an incident plan
+// (faults.h) into the same DiagnosisCase shape the hand-built scenarios
+// produce, so the eval harness and every scheme consume it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/emulation/faults.h"
+#include "src/emulation/scenarios.h"
+
+namespace murphy::emulation {
+
+struct TopoGenOptions {
+  std::uint64_t seed = 1;
+  // Total services across every application (gateways, mids, datastores and
+  // the shared-infra tier included). 50-500+ is the intended range; small
+  // values are clamped so each tier keeps at least one service per app.
+  std::size_t services = 100;
+  // Logical applications sharing the enterprise's nodes and infra tier.
+  std::size_t applications = 2;
+  // Tier sizing (fractions of `services`).
+  double datastore_fraction = 0.20;
+  double shared_infra_fraction = 0.08;
+  // Mid-tier depth: services arrange into this many layers between gateway
+  // and datastores (deep call chains are what distinguish large graphs).
+  std::size_t mid_layers = 3;
+  // Out-degree cap and geometric continue-probability for mid services.
+  std::size_t max_fanout = 6;
+  double fanout_continue = 0.45;
+  // Container packing: services per cluster node; applications interleave
+  // across nodes so node-level contention couples them.
+  std::size_t services_per_node = 8;
+  double node_cores = 16.0;
+  // When false (default) call edges are directed caller->callee — the
+  // acyclic §6.3 environment every scheme (Sage included) can model.
+  bool bidirectional_call_edges = false;
+};
+
+enum class ServiceTier : std::uint8_t {
+  kGateway = 0,
+  kMid = 1,
+  kDatastore = 2,
+  kSharedInfra = 3,
+};
+
+struct GeneratedTopology {
+  AppModel app;  // simulator input; service names: "<appN>.<tier><i>"
+  // Parallel to app.services.
+  std::vector<ServiceTier> tier;
+  // Logical application index per service; shared-infra services belong to
+  // every application and carry SIZE_MAX here.
+  std::vector<std::size_t> app_of;
+  // The per-application entry services (tier kGateway), in app order.
+  std::vector<ServiceIdx> gateways;
+  TopoGenOptions opts;  // the parameters that built it (self-description)
+};
+
+[[nodiscard]] GeneratedTopology generate_topology(const TopoGenOptions& opts);
+
+// FNV-1a digest over every structural field of the model (names, edges,
+// placements, limits, schedules). Equal digests across two generate calls
+// mean byte-identical graphs; the property suite asserts seed-determinism
+// with this.
+[[nodiscard]] std::uint64_t topology_digest(const AppModel& app);
+
+// ---------------------------------------------------------------------------
+// Matrix cases: generated topology + planned incident -> DiagnosisCase.
+
+struct TopologyCaseOptions {
+  IncidentKind fault = IncidentKind::kSingleContention;
+  std::uint64_t seed = 1;
+  std::size_t slices = 240;        // trace length (10 s slices)
+  double gateway_rps = 25.0;       // steady offered load per gateway client
+  // Fault intensity. End-to-end client latency sums over the WHOLE call
+  // tree, so a deep service's spike is diluted ~|tree|-fold by the time it
+  // reaches the symptom; 2.0 pushes the root container past saturation
+  // (rho > 1, overload regime) even for the mem/disk faults whose CPU
+  // coupling is fractional, which is what makes the case diagnosable at
+  // all. stress-ng at full tilt is the real-world analogue.
+  double intensity = 2.0;
+  std::size_t incident_duration = 45;
+  std::size_t num_roots = 2;       // correlated incidents
+  double noise = 0.03;
+};
+
+// Builds one diagnosable case: a client per gateway, an incident planned
+// over the service-hosting containers (last third of the trace), retry
+// amplifications applied, the simulator run, and ground truth labeled per
+// the plan — all roots in DiagnosisCase::all_roots, cascade secondaries
+// only in the relaxed set. The symptom is the latency of the client whose
+// call tree reaches the first root (falling back to the most-degraded
+// client when none does).
+[[nodiscard]] DiagnosisCase make_topology_case(const GeneratedTopology& topo,
+                                               const TopologyCaseOptions& opts);
+
+}  // namespace murphy::emulation

@@ -30,6 +30,7 @@ core::DiagnosisRequest request_for(const emulation::DiagnosisCase& c) {
   req.now = c.incident_end > 0 ? c.incident_end - 1 : 0;
   req.train_begin = 0;
   req.train_end = c.incident_end;
+  req.max_hops = c.max_hops;
   return req;
 }
 

@@ -14,6 +14,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/batch.h"
 #include "src/core/murphy.h"
+#include "src/eval/matrix.h"
 
 namespace murphy {
 namespace {
@@ -395,6 +396,106 @@ TEST(Determinism, AuditRecordsMatchRankedCauses) {
   std::string error;
   ASSERT_TRUE(obs::parse_jsonl(run.audit_jsonl, parsed, &error)) << error;
   EXPECT_EQ(parsed.candidates.size(), audit.candidates.size());
+}
+
+// ---------- battle-matrix golden cell ---------------------------------------
+
+// One small battle-matrix cell, pinned by seed. The harness path (topology
+// generation -> incident planning -> simulation -> chaos -> diagnosis) must
+// inherit the engine's determinism contract: identical ranked lists at any
+// thread count, and identical bits whether Murphy runs directly or through
+// the DiagnosisService's streamed-replay route.
+
+eval::MatrixOptions golden_cell_options() {
+  eval::MatrixOptions opts;
+  eval::MatrixTopoLevel level;
+  level.name = "golden-40";
+  level.topo.services = 40;
+  level.topo.applications = 1;
+  level.topo.seed = 77;
+  opts.topologies.push_back(level);
+  opts.faults = {emulation::IncidentKind::kCorrelatedMultiRoot};
+  opts.qualities = {{"clean", 0.0}};
+  opts.cases_per_cell = 1;
+  opts.seed = 5;
+  opts.scenario.slices = 160;
+  opts.murphy.sampler.num_samples = 60;
+  opts.service_route_min_services = SIZE_MAX;  // direct unless overridden
+  return opts;
+}
+
+void expect_case_runs_bitwise_equal(const eval::MatrixCellRuns& x,
+                                    const eval::MatrixCellRuns& y) {
+  ASSERT_EQ(x.runs.size(), y.runs.size());
+  for (std::size_t i = 0; i < x.runs.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    EXPECT_EQ(x.runs[i].scheme, y.runs[i].scheme);
+    expect_bitwise_equal(x.runs[i].result, y.runs[i].result);
+    EXPECT_EQ(x.runs[i].outcome.rank, y.runs[i].outcome.rank);
+    EXPECT_EQ(x.runs[i].outcome.relaxed_rank, y.runs[i].outcome.relaxed_rank);
+  }
+}
+
+TEST(MatrixGolden, CellBitwiseIdenticalAcrossThreadCounts) {
+  eval::MatrixOptions opts = golden_cell_options();
+  auto run_at = [&](std::size_t threads) {
+    opts.murphy.num_threads = threads;
+    core::MurphyDiagnoser murphy(opts.murphy);
+    core::Diagnoser* scheme = &murphy;
+    return eval::run_matrix_cell(opts, std::span<core::Diagnoser* const>(
+                                           &scheme, 1),
+                                 0, 0, 0);
+  };
+  const auto serial = run_at(1);
+  ASSERT_EQ(serial.runs.size(), 1u);
+  ASSERT_FALSE(serial.runs[0].result.causes.empty());
+  // The pinned cell must stay solvable — a generator change that breaks the
+  // incident's diagnosability shows up here, not just as a bench regression.
+  EXPECT_GE(serial.runs[0].outcome.rank, 1u);
+  EXPECT_LE(serial.runs[0].outcome.rank, 3u);
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    expect_case_runs_bitwise_equal(serial, run_at(threads));
+  }
+}
+
+TEST(MatrixGolden, ServiceRouteMatchesDirectBitwise) {
+  eval::MatrixOptions opts = golden_cell_options();
+  core::MurphyDiagnoser murphy(opts.murphy);
+  core::Diagnoser* scheme = &murphy;
+  const std::span<core::Diagnoser* const> schemes(&scheme, 1);
+
+  opts.service_route_min_services = SIZE_MAX;
+  const auto direct = eval::run_matrix_cell(opts, schemes, 0, 0, 0);
+  ASSERT_EQ(direct.runs.size(), 1u);
+  EXPECT_FALSE(direct.runs[0].via_service);
+
+  // Same cell, Murphy routed through the service: warm prefix + streamed
+  // incident tail + priority queue. The kOk result carries the same bits.
+  opts.service_route_min_services = 0;
+  for (const std::size_t workers : {1u, 3u}) {
+    SCOPED_TRACE("service_workers=" + std::to_string(workers));
+    opts.service_workers = workers;
+    const auto routed = eval::run_matrix_cell(opts, schemes, 0, 0, 0);
+    ASSERT_EQ(routed.runs.size(), 1u);
+    EXPECT_TRUE(routed.runs[0].via_service);
+    expect_bitwise_equal(direct.runs[0].result, routed.runs[0].result);
+  }
+}
+
+TEST(MatrixGolden, DegradedCellStillDeterministic) {
+  // The chaos axis must not leak nondeterminism: corrupting the same case
+  // twice (reingest on, symptom protected) yields identical ranked lists.
+  eval::MatrixOptions opts = golden_cell_options();
+  opts.qualities = {{"degraded", 0.5}};
+  core::MurphyDiagnoser murphy(opts.murphy);
+  core::Diagnoser* scheme = &murphy;
+  const std::span<core::Diagnoser* const> schemes(&scheme, 1);
+  const auto a = eval::run_matrix_cell(opts, schemes, 0, 0, 0);
+  const auto b = eval::run_matrix_cell(opts, schemes, 0, 0, 0);
+  ASSERT_EQ(a.runs.size(), 1u);
+  ASSERT_FALSE(a.runs[0].result.causes.empty());
+  expect_case_runs_bitwise_equal(a, b);
 }
 
 }  // namespace

@@ -298,5 +298,151 @@ TEST(Scenarios, DeterministicForSeed) {
     EXPECT_DOUBLE_EQ(la->value(t), lb->value(t));
 }
 
+// ---------------------------------------------------------------------------
+// Incident planner: ground-truth labels must match the injected perturbation.
+
+// Three services on three containers: s0 -> s2, s1 isolated. Client A
+// enters s0 (its tree touches s2), client B enters s1 (it never sees s2).
+AppModel tiny_incident_app() {
+  AppModel app;
+  app.name = "tiny";
+  app.nodes.push_back(NodeSpec{"n0", 8.0});
+  for (std::size_t i = 0; i < 3; ++i) {
+    ContainerSpec c;
+    c.name = "c" + std::to_string(i);
+    c.cpu_limit_cores = 1.0;
+    app.containers.push_back(c);
+    ServiceSpec s;
+    s.name = "s" + std::to_string(i);
+    s.container = i;
+    app.services.push_back(s);
+  }
+  app.call_edges.push_back(CallEdge{0, 2, 1.0});
+  ClientSpec a;
+  a.name = "clA";
+  a.entry_service = 0;
+  a.rps_schedule.assign(60, 10.0);
+  ClientSpec b;
+  b.name = "clB";
+  b.entry_service = 1;
+  b.rps_schedule.assign(60, 10.0);
+  app.clients.push_back(a);
+  app.clients.push_back(b);
+  return app;
+}
+
+IncidentOptions incident_opts(IncidentKind kind) {
+  IncidentOptions o;
+  o.kind = kind;
+  o.seed = 9;
+  o.start = 20;
+  o.duration = 20;
+  o.intensity = 1.0;
+  return o;
+}
+
+TEST(Incidents, CorrelatedLabelsEveryRoot) {
+  const AppModel app = tiny_incident_app();
+  IncidentOptions opts = incident_opts(IncidentKind::kCorrelatedMultiRoot);
+  opts.num_roots = 2;
+  const IncidentPlan plan = plan_incident(app, {0, 1, 2}, opts);
+  ASSERT_EQ(plan.root_containers.size(), 2u);
+  EXPECT_NE(plan.root_containers[0], plan.root_containers[1]);
+  EXPECT_TRUE(plan.secondary_containers.empty());
+  EXPECT_TRUE(plan.amplifications.empty());
+  // One fault per root, every window inside the incident window.
+  ASSERT_EQ(plan.faults.size(), 2u);
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    EXPECT_EQ(plan.faults[i].target, plan.root_containers[i]);
+    EXPECT_GE(plan.faults[i].start, plan.start);
+    EXPECT_LE(plan.faults[i].start + plan.faults[i].duration, plan.end);
+  }
+}
+
+TEST(Incidents, CascadeLabelsOriginOnly) {
+  const AppModel app = tiny_incident_app();
+  const IncidentPlan plan =
+      plan_incident(app, {2}, incident_opts(IncidentKind::kCascade));
+  // Ground truth is the origin alone; the upstream spread (c0 calls s2) is
+  // secondary — an effect an operator would accept, never the answer.
+  ASSERT_EQ(plan.root_containers.size(), 1u);
+  EXPECT_EQ(plan.root_containers[0], 2u);
+  ASSERT_EQ(plan.secondary_containers.size(), 1u);
+  EXPECT_EQ(plan.secondary_containers[0], 0u);
+  // Induced faults are delayed and weaker than the origin fault.
+  ASSERT_EQ(plan.faults.size(), 2u);
+  const Fault& origin = plan.faults[0];
+  const Fault& induced = plan.faults[1];
+  EXPECT_EQ(origin.target, 2u);
+  EXPECT_EQ(induced.target, 0u);
+  EXPECT_GT(induced.start, origin.start);
+  EXPECT_LT(induced.intensity, origin.intensity);
+}
+
+TEST(Incidents, SlowBurnRampsIntensity) {
+  const AppModel app = tiny_incident_app();
+  const IncidentPlan plan =
+      plan_incident(app, {1}, incident_opts(IncidentKind::kSlowBurn));
+  ASSERT_EQ(plan.faults.size(), 1u);
+  const Fault& f = plan.faults[0];
+  EXPECT_GT(f.ramp_slices, 0u);
+  // Intensity climbs through the ramp and plateaus at the configured level.
+  EXPECT_DOUBLE_EQ(f.intensity_at(f.start - 1), 0.0);
+  const double early = f.intensity_at(f.start);
+  const double mid = f.intensity_at(f.start + f.ramp_slices / 2);
+  const double late = f.intensity_at(f.start + f.ramp_slices);
+  EXPECT_LT(early, mid);
+  EXPECT_LT(mid, late);
+  EXPECT_DOUBLE_EQ(late, f.intensity);
+  // Ramp never overshoots: pressure mid-ramp is below the plateau's (mem
+  // and disk faults both bleed CPU, so cpu_cores tracks either kind).
+  std::vector<Fault> faults{f};
+  EXPECT_LT(pressure_at(faults, 1, 1.0, f.start + 2).cpu_cores,
+            pressure_at(faults, 1, 1.0, f.start + f.ramp_slices).cpu_cores);
+}
+
+TEST(Incidents, RetryStormAmplifiesOnlyTouchingClients) {
+  const AppModel app = tiny_incident_app();
+  const IncidentPlan plan =
+      plan_incident(app, {2}, incident_opts(IncidentKind::kRetryStorm));
+  ASSERT_EQ(plan.root_containers.size(), 1u);
+  EXPECT_EQ(plan.root_containers[0], 2u);
+  // Only client A's call tree reaches c2; client B must not retry.
+  ASSERT_EQ(plan.amplifications.size(), 1u);
+  const ClientAmplification& amp = plan.amplifications[0];
+  EXPECT_EQ(amp.client, 0u);
+  EXPECT_GT(amp.start, plan.start) << "timeouts fire before retries";
+  EXPECT_GT(amp.factor, 1.0);
+
+  // apply_amplifications scales exactly the windowed slices of that client.
+  AppModel amplified = app;
+  apply_amplifications(amplified, plan.amplifications);
+  for (TimeIndex t = 0; t < 60; ++t) {
+    const bool in_window = t >= amp.start && t < amp.start + amp.duration;
+    EXPECT_DOUBLE_EQ(amplified.clients[0].rps_schedule[t],
+                     in_window ? 10.0 * amp.factor : 10.0);
+    EXPECT_DOUBLE_EQ(amplified.clients[1].rps_schedule[t], 10.0);
+  }
+}
+
+TEST(Incidents, PlansAreSeedDeterministic) {
+  const AppModel app = tiny_incident_app();
+  for (const IncidentKind kind :
+       {IncidentKind::kSingleContention, IncidentKind::kCorrelatedMultiRoot,
+        IncidentKind::kSlowBurn, IncidentKind::kRetryStorm,
+        IncidentKind::kCascade}) {
+    const IncidentPlan a = plan_incident(app, {0, 1, 2}, incident_opts(kind));
+    const IncidentPlan b = plan_incident(app, {0, 1, 2}, incident_opts(kind));
+    EXPECT_EQ(a.root_containers, b.root_containers);
+    EXPECT_EQ(a.secondary_containers, b.secondary_containers);
+    ASSERT_EQ(a.faults.size(), b.faults.size());
+    for (std::size_t i = 0; i < a.faults.size(); ++i) {
+      EXPECT_EQ(a.faults[i].target, b.faults[i].target);
+      EXPECT_EQ(a.faults[i].start, b.faults[i].start);
+      EXPECT_DOUBLE_EQ(a.faults[i].intensity, b.faults[i].intensity);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace murphy::emulation
