@@ -11,8 +11,17 @@
 //   REPLAY <n>            replay the next n feed slices into the stream
 //   EXTEND <n>            grow the time axis by n empty slices
 //   SNAPSHOT <path>       save a consistent snapshot (diagnoses keep running)
-//   STATS                 queue depth, db version, latency p50/p99, counters
+//   STATS                 one-line summary + the full metrics-registry JSON
+//   MARKERS               one-line JSON array of T2-style fleet markers
+//                         (snapshot-diff since the previous MARKERS/export)
+//   INCIDENTS             one-line JSON array of watchdog incidents
 //   QUIT
+//
+// With --watchdog the stream's commit observer feeds the always-on watchdog
+// (DESIGN.md §10): every replayed slice is scanned, sustained anomalies
+// auto-enqueue prioritized diagnoses, and incident lifecycle transitions are
+// journaled to stderr as they happen. --marker-every N exports fleet markers
+// to stderr every N replayed slices through the same aggregator MARKERS uses.
 //
 // Usage:
 //   murphyd                               # built-in microservice scenario
@@ -20,6 +29,7 @@
 //   murphyd --snapshot FILE               # resume from a snapshot
 //   common: --split F (warm fraction, default 0.75) --workers N --queue N
 //           --replay-ms M (auto-replay one slice every M ms)
+//           --watchdog --marker-every N --audit-out FILE
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,13 +39,17 @@
 #include <string>
 #include <thread>
 
+#include <fstream>
+
 #include "src/emulation/scenarios.h"
+#include "src/obs/markers.h"
 #include "src/obs/metrics.h"
 #include "src/service/diagnosis_service.h"
 #include "src/service/feed.h"
 #include "src/service/telemetry_stream.h"
 #include "src/telemetry/csv_import.h"
 #include "src/telemetry/snapshot.h"
+#include "src/watchdog/watchdog.h"
 
 using namespace murphy;
 
@@ -49,6 +63,9 @@ struct Args {
   std::size_t workers = 2;
   std::size_t queue = 64;
   long replay_ms = 0;  // 0 = manual REPLAY only
+  bool watchdog = false;
+  std::size_t marker_every = 0;  // 0 = MARKERS verb only
+  std::string audit_out;         // incident-linked diagnosis audits (JSONL)
 };
 
 Args parse_args(int argc, char** argv) {
@@ -76,6 +93,12 @@ Args parse_args(int argc, char** argv) {
       a.queue = static_cast<std::size_t>(std::stoul(next()));
     } else if (flag == "--replay-ms") {
       a.replay_ms = std::stol(next());
+    } else if (flag == "--watchdog") {
+      a.watchdog = true;
+    } else if (flag == "--marker-every") {
+      a.marker_every = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--audit-out") {
+      a.audit_out = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       std::exit(2);
@@ -126,13 +149,33 @@ int main(int argc, char** argv) {
   sopts.max_queue = args.queue;
   sopts.murphy.num_threads = 1;  // concurrency comes from the worker pool
   sopts.murphy.obs.metrics = &obs::global_metrics();
+  sopts.murphy.obs.collect_audit = !args.audit_out.empty();
   service::DiagnosisService svc(stream, sopts);
+
+  // --- always-on watchdog + fleet-marker export -----------------------------
+  watchdog::WatchdogOptions wopts;
+  wopts.on_event = [](const obs::IncidentEvent& ev) {
+    std::fprintf(stderr, "murphyd incident %s\n", obs::to_json(ev).c_str());
+  };
+  watchdog::Watchdog wd(stream, svc, std::move(wopts), &obs::global_metrics());
+  if (args.watchdog) wd.attach();
+
+  // One aggregator serves both the MARKERS verb and --marker-every exports;
+  // each collect() reports the interval since the previous one.
+  obs::MarkerAggregator markers;
+  std::mutex marker_mu;
+  auto export_markers = [&](double interval_sec) {
+    std::lock_guard<std::mutex> lock(marker_mu);
+    return markers.collect(obs::global_metrics().snapshot(), interval_sec);
+  };
 
   std::atomic<std::size_t> replayed{0};
   std::atomic<bool> quitting{false};
 
   // One mutex serializes replay (REPLAY verb vs the auto-replay thread);
-  // the stream itself is what makes replay safe against diagnoses.
+  // the stream itself is what makes replay safe against diagnoses. The
+  // watchdog scan rides here too — one scan per replayed slice, which is
+  // the scan schedule the determinism contract is stated against.
   std::mutex replay_mu;
   auto replay_n = [&](std::size_t n) {
     std::lock_guard<std::mutex> lock(replay_mu);
@@ -140,6 +183,13 @@ int main(int argc, char** argv) {
     while (n-- > 0 && replayed.load() < feed.batches.size()) {
       cells += service::replay_slice(stream, feed, replayed.load());
       replayed.fetch_add(1);
+      if (args.watchdog) wd.scan();
+      if (args.marker_every > 0 && replayed.load() % args.marker_every == 0) {
+        for (const obs::Marker& m :
+             export_markers(static_cast<double>(args.marker_every)))
+          std::fprintf(stderr, "murphyd marker %s %s\n", m.name.c_str(),
+                       obs::marker_payload_json(m).c_str());
+      }
     }
     svc.maintain();
     return cells;
@@ -179,9 +229,13 @@ int main(int argc, char** argv) {
         const obs::Counter* c = m.find_counter(name);
         return c == nullptr ? 0ULL : c->value();
       };
+      // Summary fields first, then the FULL registry snapshot: every
+      // instrument any subsystem ever registered, not the handful this
+      // printf knew about (scripts/metrics_diff.py consumes the JSON).
       std::printf(
           "OK slices=%zu version=%llu queue=%zu replayed=%zu completed=%llu "
-          "rejected=%llu deadline_exceeded=%llu p50_ms=%.1f p99_ms=%.1f\n",
+          "rejected=%llu deadline_exceeded=%llu p50_ms=%.1f p99_ms=%.1f "
+          "metrics=%s\n",
           stream.slice_count(),
           static_cast<unsigned long long>(stream.data_version()),
           svc.queue_depth(), replayed.load(),
@@ -189,7 +243,23 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cnt("service.rejected")),
           static_cast<unsigned long long>(cnt("service.deadline_exceeded")),
           h == nullptr ? 0.0 : h->quantile(0.5),
-          h == nullptr ? 0.0 : h->quantile(0.99));
+          h == nullptr ? 0.0 : h->quantile(0.99), m.to_json().c_str());
+    } else if (verb == "MARKERS") {
+      std::string out = "[";
+      bool first = true;
+      for (const obs::Marker& mk : export_markers(0.0)) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + mk.name +
+               "\",\"payload\":" + obs::marker_payload_json(mk) + "}";
+      }
+      out += "]";
+      std::printf("OK %s\n", out.c_str());
+    } else if (verb == "INCIDENTS") {
+      // Serialized against scan() (the replay mutex) — incidents_ is
+      // scanner-side state.
+      std::lock_guard<std::mutex> lock(replay_mu);
+      std::printf("OK %s\n", watchdog::to_json(wd.incidents()).c_str());
     } else if (verb == "REPLAY") {
       std::size_t n = 1;
       in >> n;
@@ -284,6 +354,19 @@ int main(int argc, char** argv) {
 
   quitting.store(true);
   if (auto_replay.joinable()) auto_replay.join();
+  if (args.watchdog) {
+    // Settle the lifecycle (every incident diagnosed or resolved) before
+    // the service stops accepting the watchdog's re-enqueues.
+    std::lock_guard<std::mutex> lock(replay_mu);
+    wd.drain();
+    wd.detach();
+    if (!args.audit_out.empty()) {
+      std::ofstream out(args.audit_out);
+      out << wd.audit_jsonl();
+      std::fprintf(stderr, "murphyd: wrote %zu incident audits to %s\n",
+                   wd.incidents().size(), args.audit_out.c_str());
+    }
+  }
   svc.stop();
   return 0;
 }

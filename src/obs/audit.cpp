@@ -63,6 +63,8 @@ std::string to_jsonl(const DiagnosisAudit& audit) {
   out.push_back(',');
   append_kv(out, "variables", audit.variables);
   out.push_back(',');
+  append_kv(out, "incident_id", audit.incident_id);
+  out.push_back(',');
   append_kv(out, "candidates", static_cast<std::uint64_t>(audit.candidates.size()));
   out += "}\n";
 
@@ -141,6 +143,7 @@ bool parse_jsonl(std::string_view text, DiagnosisAudit& out,
       out.now = static_cast<std::uint64_t>(num_or(v, "now", 0));
       out.graph_nodes = static_cast<std::uint64_t>(num_or(v, "graph_nodes", 0));
       out.variables = static_cast<std::uint64_t>(num_or(v, "variables", 0));
+      out.incident_id = static_cast<std::uint64_t>(num_or(v, "incident_id", 0));
     } else if (type == "candidate") {
       CandidateAudit c;
       c.entity = EntityId(static_cast<std::uint32_t>(num_or(v, "entity", 0)));
@@ -170,6 +173,90 @@ bool parse_jsonl(std::string_view text, DiagnosisAudit& out,
   if (!seen_header) {
     if (error != nullptr) *error = "missing diagnosis header";
     return false;
+  }
+  return true;
+}
+
+std::string to_json(const IncidentEvent& e) {
+  std::string out;
+  out += "{\"type\":\"incident\",";
+  append_kv(out, "incident_id", e.incident_id);
+  out.push_back(',');
+  append_kv(out, "event", e.event);
+  out.push_back(',');
+  append_kv(out, "slice", e.slice);
+  out.push_back(',');
+  append_kv(out, "entity", e.entity);
+  out.push_back(',');
+  append_kv(out, "metric", e.metric);
+  out.push_back(',');
+  append_kv(out, "severity", e.severity);
+  out.push_back(',');
+  json_append_escaped(out, "priority");
+  out.push_back(':');
+  out += json_number(e.priority);
+  out.push_back(',');
+  append_kv(out, "refires", e.refires);
+  out.push_back(',');
+  append_kv(out, "state", e.state);
+  out.push_back(',');
+  json_append_escaped(out, "causes");
+  out += ":[";
+  for (std::size_t i = 0; i < e.causes.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    json_append_escaped(out, e.causes[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_jsonl(std::span<const IncidentEvent> events) {
+  std::string out;
+  for (const IncidentEvent& e : events) {
+    out += to_json(e);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool parse_incident_jsonl(std::string_view text, std::vector<IncidentEvent>& out,
+                          std::string* error) {
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    JsonValue v;
+    std::string perr;
+    if (!json_parse(line, v, &perr) || !v.is_object()) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " + perr;
+      return false;
+    }
+    if (str_or(v, "type") != "incident") {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": unknown type";
+      return false;
+    }
+    IncidentEvent e;
+    e.incident_id = static_cast<std::uint64_t>(num_or(v, "incident_id", 0));
+    e.event = str_or(v, "event");
+    e.slice = static_cast<std::uint64_t>(num_or(v, "slice", 0));
+    e.entity = str_or(v, "entity");
+    e.metric = str_or(v, "metric");
+    e.severity = num_or(v, "severity", 0.0);
+    e.priority = static_cast<std::int64_t>(num_or(v, "priority", 0));
+    e.refires = static_cast<std::uint64_t>(num_or(v, "refires", 0));
+    e.state = str_or(v, "state");
+    if (const JsonValue* p = v.find("causes"); p != nullptr && p->is_array())
+      for (const JsonValue& c : p->array)
+        if (c.kind == JsonValue::Kind::kString) e.causes.push_back(c.string);
+    out.push_back(std::move(e));
   }
   return true;
 }

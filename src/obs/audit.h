@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +52,11 @@ struct DiagnosisAudit {
   std::uint64_t now = 0;
   std::uint64_t graph_nodes = 0;
   std::uint64_t variables = 0;
+  // Watchdog linkage: the incident this diagnosis was auto-enqueued for
+  // (DESIGN.md §10). 0 = not incident-driven (the request-driven paths never
+  // set it). The watchdog stamps this after the run completes, so one
+  // incident's lifecycle journal and its per-candidate evidence join on id.
+  std::uint64_t incident_id = 0;
   std::vector<CandidateAudit> candidates;
 
   [[nodiscard]] bool empty() const {
@@ -67,5 +73,41 @@ struct DiagnosisAudit {
 // exactly one header line; candidate lines follow in file order.
 [[nodiscard]] bool parse_jsonl(std::string_view text, DiagnosisAudit& out,
                                std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Incident lifecycle journal (the always-on watchdog, DESIGN.md §10).
+//
+// Every incident state transition is one record; the journal is the
+// append-only JSONL file murphyd writes alongside the per-candidate
+// diagnosis audit, joined on incident_id. Every field is a deterministic
+// function of the replayed telemetry (slice indices, never wall clocks), so
+// the journal is byte-identical across ingest thread counts and service
+// worker counts — the watchdog determinism harness diffs it directly.
+
+struct IncidentEvent {
+  std::uint64_t incident_id = 0;
+  // "open" | "attach" | "enqueue" | "refire" | "diagnosed" |
+  // "diagnosis_failed" | "resolve"
+  std::string event;
+  std::uint64_t slice = 0;  // axis slice the transition was observed at
+  std::string entity;       // primary symptom entity (attach: the new member)
+  std::string metric;       // driver metric of the firing series
+  double severity = 0.0;    // max streaming |z| over the incident's members
+  std::int64_t priority = 0;   // enqueue/refire: queue priority used
+  std::uint64_t refires = 0;   // escalation count so far
+  std::string state;           // incident state AFTER the transition
+  // diagnosed: top-ranked root-cause entity names (best first).
+  std::vector<std::string> causes;
+};
+
+// One JSON object per event, in order; deterministic rendering (fixed key
+// order, round-trip number precision).
+[[nodiscard]] std::string to_jsonl(std::span<const IncidentEvent> events);
+[[nodiscard]] std::string to_json(const IncidentEvent& event);
+
+// Parses to_jsonl output back; appends to `out` in file order.
+[[nodiscard]] bool parse_incident_jsonl(std::string_view text,
+                                        std::vector<IncidentEvent>& out,
+                                        std::string* error = nullptr);
 
 }  // namespace murphy::obs

@@ -1,0 +1,96 @@
+#include "src/obs/markers.h"
+
+#include <cctype>
+
+#include "src/obs/json.h"
+
+namespace murphy::obs {
+
+namespace {
+
+// "ms" when the instrument name's final [._-]-separated segment is a
+// millisecond quantity ("service.total_ms", "matrix_latency....ms"),
+// "count" otherwise. Heuristic by design: the registry carries no unit
+// metadata, and the repo-wide naming convention is the _ms suffix.
+std::string_view unit_of(std::string_view instrument) {
+  if (instrument.size() >= 3) {
+    const std::string_view tail = instrument.substr(instrument.size() - 3);
+    if (tail == "_ms" || tail == ".ms") return "ms";
+  }
+  return instrument == "ms" ? "ms" : "count";
+}
+
+}  // namespace
+
+std::string marker_name(std::string_view prefix, std::string_view instrument) {
+  std::string out(prefix);
+  bool upper_next = true;
+  for (const char ch : instrument) {
+    if (ch == '.' || ch == '_' || ch == '-') {
+      upper_next = true;
+      continue;
+    }
+    out.push_back(upper_next
+                      ? static_cast<char>(
+                            std::toupper(static_cast<unsigned char>(ch)))
+                      : ch);
+    upper_next = false;
+  }
+  out += "_split";
+  return out;
+}
+
+std::string marker_payload_json(const Marker& m) {
+  std::string out = "{\"sum\":";
+  out += json_number(m.sum);
+  out += ",\"count\":";
+  out += json_number(m.count);
+  out += ",\"unit\":";
+  json_append_escaped(out, m.unit);
+  out += ",\"reporting_interval_sec\":";
+  out += json_number(m.interval_sec);
+  out += "}";
+  return out;
+}
+
+MarkerAggregator::MarkerAggregator(std::string prefix)
+    : prefix_(std::move(prefix)) {}
+
+std::vector<Marker> MarkerAggregator::collect(
+    const MetricsRegistry::Snapshot& snap, double interval_sec) {
+  std::vector<Marker> out;
+  for (const auto& e : snap.entries) {
+    Prev& prev = prev_[e.name];
+    Marker m;
+    m.name = marker_name(prefix_, e.name);
+    m.unit = unit_of(e.name);
+    m.interval_sec = interval_sec;
+    bool emit = false;
+    if (e.kind == "counter") {
+      // A shrunken counter means the registry was reset mid-flight; report
+      // the post-reset value rather than a negative delta.
+      const double delta = e.value >= prev.value ? e.value - prev.value
+                                                 : e.value;
+      m.sum = delta;
+      m.count = 1;
+      emit = delta != 0.0;
+    } else if (e.kind == "gauge") {
+      m.sum = e.value;
+      m.count = 1;
+      emit = true;
+    } else {  // histogram: e.value is the observation count
+      const bool reset = e.value < prev.value || e.sum < prev.sum;
+      const double dcount = reset ? e.value : e.value - prev.value;
+      const double dsum = reset ? e.sum : e.sum - prev.sum;
+      m.sum = dsum;
+      m.count = static_cast<std::uint64_t>(dcount);
+      emit = dcount != 0.0;
+    }
+    prev.value = e.value;
+    prev.sum = e.sum;
+    if (emit) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace murphy::obs

@@ -1,0 +1,78 @@
+// Fleet telemetry markers: periodic aggregated exports of the metrics
+// registry, modeled on the App Gateway T2 scheme (SNIPPETS.md).
+//
+// A fleet monitor cannot scrape a process-internal registry; what it gets is
+// a periodic stream of *markers* — one named datum per reporting interval
+// with a standardized payload {sum, count, unit, reporting_interval_sec}.
+// MarkerAggregator produces that stream by diffing consecutive registry
+// snapshots: counters and histograms report the DELTA over the interval
+// (what happened since the last export), gauges report the current value
+// (point-in-time state). murphyd dogfoods this — the diagnosis engine's own
+// obs registry is exported through the same aggregation path an application
+// fleet would use, so "is the watchdog keeping up" is answerable from the
+// marker stream alone (DESIGN.md §10).
+//
+// Marker names follow the T2 convention `<Prefix><CamelCasedInstrument>_split`
+// (e.g. `service.total_ms` -> `MurphydServiceTotalMs_split`): one marker per
+// statistic, machine-generated from the registry name so new instruments
+// export without registration ceremony.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace murphy::obs {
+
+// One aggregated datum of one reporting interval.
+struct Marker {
+  std::string name;  // e.g. "MurphydServiceCompletedTotal_split"
+  double sum = 0.0;  // delta (counters/histograms) or current value (gauges)
+  std::uint64_t count = 1;  // samples aggregated into `sum` (histogram delta)
+  std::string unit;         // "count" | "ms"
+  double interval_sec = 0.0;
+};
+
+// `AppGw`-style camel-cased marker name: prefix + instrument name with
+// [._-] separators removed and each segment capitalized, plus "_split".
+[[nodiscard]] std::string marker_name(std::string_view prefix,
+                                      std::string_view instrument);
+
+// The standardized payload: {"sum":..,"count":..,"unit":..,
+// "reporting_interval_sec":..}, rendered deterministically.
+[[nodiscard]] std::string marker_payload_json(const Marker& m);
+
+// Snapshot-diff aggregator. Stateful: the first collect() reports deltas
+// against zero (process start), each later collect() against the previous
+// one. Not thread-safe; murphyd drives it from the replay/export loop.
+class MarkerAggregator {
+ public:
+  explicit MarkerAggregator(std::string prefix = "Murphyd");
+
+  // Diffs `snap` against the previous collect and returns the interval's
+  // markers, sorted by instrument name:
+  //  * counters: sum = value delta, count = 1; zero-delta counters are
+  //    skipped (T2 reports activity, not the absence of it). A counter that
+  //    shrank (registry reset) reports its current value.
+  //  * gauges: always emitted; sum = current value, count = 1.
+  //  * histograms: sum = sum delta, count = observation-count delta; skipped
+  //    when no new observations arrived.
+  // Units are inferred from the instrument name ("..._ms"/"....ms" -> "ms",
+  // everything else "count").
+  [[nodiscard]] std::vector<Marker> collect(
+      const MetricsRegistry::Snapshot& snap, double interval_sec);
+
+ private:
+  struct Prev {
+    double value = 0.0;
+    double sum = 0.0;
+  };
+  std::string prefix_;
+  std::map<std::string, Prev> prev_;
+};
+
+}  // namespace murphy::obs

@@ -1,5 +1,7 @@
 #include "src/service/telemetry_stream.h"
 
+#include <algorithm>
+
 #include "src/obs/metrics.h"
 
 namespace murphy::service {
@@ -19,9 +21,17 @@ std::size_t TelemetryStream::append(std::span<const TelemetryCell> cells) {
   std::size_t written = 0;
   std::size_t unknown = 0;
   std::size_t out_of_axis = 0;
+  std::vector<SeriesTouch> touches;
+  CommitObserver observer;
   {
     std::unique_lock lock(mu_);
     const std::size_t slices = db_.metrics().axis().size();
+    const bool observed = static_cast<bool>(observer_);
+    if (observed) touches.reserve(cells.size());
+    // Feed batches usually arrive grouped by series in ref order; sortedness
+    // is tracked inline (the adjacency dedup is comparing refs anyway), so
+    // the common case pays no extra pass below.
+    bool refs_ascending = true;
     for (const TelemetryCell& c : cells) {
       if (!db_.has_entity(c.entity)) {
         ++unknown;
@@ -31,18 +41,62 @@ std::size_t TelemetryStream::append(std::span<const TelemetryCell> cells) {
         ++out_of_axis;
         continue;
       }
-      db_.metrics().upsert_cell(c.entity, c.kind, c.t, c.value);
+      std::uint64_t epoch = 0;
+      db_.metrics().upsert_cell(c.entity, c.kind, c.t, c.value,
+                                observed ? &epoch : nullptr);
       ++written;
+      if (observed) {
+        // The epoch is captured at the write itself; the adjacency check
+        // dedups grouped batches (keeping the newest write's epoch) and the
+        // sort/unique below catches stragglers.
+        const MetricRef ref{c.entity, c.kind};
+        if (!touches.empty() && touches.back().ref == ref) {
+          touches.back().epoch = epoch;
+        } else {
+          if (!touches.empty() && ref < touches.back().ref)
+            refs_ascending = false;
+          touches.push_back({ref, epoch});
+        }
+      }
+    }
+    if (!touches.empty()) {
+      if (!refs_ascending) {
+        // Out-of-order batch: dedup keeping each series' newest epoch — sort
+        // (ref asc, epoch desc) so unique-first wins. An ascending batch
+        // needs neither pass: adjacency already deduped it (a non-adjacent
+        // duplicate would have broken monotonicity).
+        std::sort(touches.begin(), touches.end(),
+                  [](const SeriesTouch& a, const SeriesTouch& b) {
+                    if (!(a.ref == b.ref)) return a.ref < b.ref;
+                    return a.epoch > b.epoch;
+                  });
+        touches.erase(
+            std::unique(touches.begin(), touches.end(),
+                        [](const SeriesTouch& a, const SeriesTouch& b) {
+                          return a.ref == b.ref;
+                        }),
+            touches.end());
+      }
+      observer = observer_;
     }
   }
   // Defect counters outside the lock — they are process-global atomics.
+  if (written > 0) obs::global_metrics().counter("ingest.cells")->add(written);
   if (unknown > 0)
     obs::global_metrics().counter("ingest.unknown_entity_dropped")
         ->add(unknown);
   if (out_of_axis > 0)
     obs::global_metrics().counter("ingest.out_of_axis_dropped")
         ->add(out_of_axis);
+  // Post-commit notification, outside the lock so the observer may read the
+  // stream (and so a slow observer never blocks readers or other writers).
+  if (observer && !touches.empty()) observer(touches);
   return written;
+}
+
+void TelemetryStream::set_commit_observer(CommitObserver observer) {
+  std::unique_lock lock(mu_);
+  observer_ = std::move(observer);
 }
 
 bool TelemetryStream::append_cell(EntityId entity, std::string_view metric,

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/time_axis.h"
@@ -37,6 +39,15 @@ struct TelemetryCell {
   MetricKindId kind;
   TimeIndex t = 0;
   double value = 0.0;
+};
+
+// One series an append batch wrote to, with the series' write epoch after
+// the batch committed. The commit observer receives these so an incremental
+// consumer (the watchdog detector) rescores exactly the touched series
+// instead of rescanning the whole db.
+struct SeriesTouch {
+  MetricRef ref;
+  std::uint64_t epoch = 0;
 };
 
 class TelemetryStream {
@@ -88,9 +99,20 @@ class TelemetryStream {
   // caller). Cells addressing unknown entities are dropped and counted
   // (`ingest.unknown_entity_dropped`); out-of-axis times are dropped and
   // counted (`ingest.out_of_axis_dropped`); non-finite values become missing
-  // points inside the store (DESIGN.md §8). Returns the number of cells
-  // actually written.
+  // points inside the store (DESIGN.md §8). Written cells are counted in
+  // `ingest.cells`. Returns the number of cells actually written.
   std::size_t append(std::span<const TelemetryCell> cells);
+
+  // Post-commit observer: called after every append() that wrote at least
+  // one cell, with the deduplicated set of touched series and their write
+  // epochs as of this batch's commit. The callback runs OUTSIDE the stream
+  // lock (it may freely take read()), strictly after the cells are visible
+  // to readers. Concurrent appends may deliver their notifications in either
+  // order; consumers must treat a touch as "this series has new data at or
+  // below this epoch", not as an ordered event log. Replacing the observer
+  // takes the exclusive lock; pass nullptr to detach.
+  using CommitObserver = std::function<void(std::span<const SeriesTouch>)>;
+  void set_commit_observer(CommitObserver observer);
 
   // Interns `metric` and appends a single cell (the line-protocol path).
   bool append_cell(EntityId entity, std::string_view metric, TimeIndex t,
@@ -120,6 +142,7 @@ class TelemetryStream {
  private:
   mutable std::shared_mutex mu_;
   telemetry::MonitoringDb db_;
+  CommitObserver observer_;  // guarded by mu_; invoked outside it
 };
 
 }  // namespace murphy::service

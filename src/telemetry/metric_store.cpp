@@ -132,7 +132,7 @@ void MetricStore::put(EntityId entity, MetricKindId kind, TimeSeries series) {
 }
 
 bool MetricStore::upsert_cell(EntityId entity, MetricKindId kind, TimeIndex t,
-                              double v) {
+                              double v, std::uint64_t* epoch_out) {
   assert(t < axis_.size());
   const MetricRef ref{entity, kind};
   auto it = series_.find(ref);
@@ -153,7 +153,8 @@ bool MetricStore::upsert_cell(EntityId entity, MetricKindId kind, TimeIndex t,
     count_defect("ingest.nonfinite_dropped", 1);
   }
   ++version_;
-  ++epochs_[ref];
+  const std::uint64_t epoch = ++epochs_[ref];
+  if (epoch_out != nullptr) *epoch_out = epoch;
   return fresh;
 }
 

@@ -127,8 +127,11 @@ class MetricStore {
   // series (all slices missing) when absent. Non-finite values are the usual
   // telemetry defect: the slice stays missing (`ingest.nonfinite_dropped`).
   // Bumps version() and the series epoch. Returns true when the series was
-  // created by this call.
-  bool upsert_cell(EntityId entity, MetricKindId kind, TimeIndex t, double v);
+  // created by this call. When `epoch_out` is non-null it receives the
+  // post-write series epoch — the commit-observer path captures it here,
+  // at the write, instead of paying a second lookup per cell.
+  bool upsert_cell(EntityId entity, MetricKindId kind, TimeIndex t, double v,
+                   std::uint64_t* epoch_out = nullptr);
 
   // Grows the axis by `extra_slices`; every stored series is padded with
   // missing slices. Existing window reads are unchanged (slices past the old

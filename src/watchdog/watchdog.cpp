@@ -1,0 +1,596 @@
+#include "src/watchdog/watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/obs/json.h"
+
+namespace murphy::watchdog {
+
+namespace {
+
+// One entity eligible to open (or attach to) an incident this scan, with
+// everything the journal needs resolved while the db lock was held.
+struct FiringCandidate {
+  EntityId entity;
+  std::string entity_name;
+  std::string metric;  // driver: the entity's max-|z| firing series
+  double z = 0.0;
+};
+
+}  // namespace
+
+std::string_view to_string(IncidentState s) {
+  switch (s) {
+    case IncidentState::kOpen:
+      return "open";
+    case IncidentState::kDiagnosing:
+      return "diagnosing";
+    case IncidentState::kDiagnosed:
+      return "diagnosed";
+    case IncidentState::kResolved:
+      return "resolved";
+  }
+  return "unknown";
+}
+
+Watchdog::Watchdog(service::TelemetryStream& stream,
+                   service::DiagnosisService& service, WatchdogOptions opts,
+                   obs::MetricsRegistry* metrics)
+    : stream_(stream), service_(service), opts_(std::move(opts)),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    // Register up front so a snapshot taken before the first scan already
+    // shows the watchdog instruments (same convention as the service).
+    (void)metrics_->counter("watchdog.scans");
+    (void)metrics_->counter("watchdog.triggers");
+    (void)metrics_->counter("watchdog.suppressed");
+    (void)metrics_->counter("watchdog.incidents_opened");
+    (void)metrics_->gauge("watchdog.incidents_open");
+  }
+}
+
+Watchdog::~Watchdog() { detach(); }
+
+void Watchdog::attach() {
+  stream_.set_commit_observer(
+      [this](std::span<const service::SeriesTouch> touches) { note(touches); });
+  attached_ = true;
+}
+
+void Watchdog::detach() {
+  if (!attached_) return;
+  stream_.set_commit_observer(nullptr);
+  attached_ = false;
+}
+
+void Watchdog::note(std::span<const service::SeriesTouch> touches) {
+  // Ingest hot path: a plain vector append per touch. Dedup happens once
+  // per scan, not once per cell.
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  for (const service::SeriesTouch& t : touches) dirty_.push_back(t.ref);
+}
+
+void Watchdog::journal_event(obs::IncidentEvent ev) {
+  journal_.push_back(ev);
+  if (opts_.on_event) opts_.on_event(journal_.back());
+}
+
+double Watchdog::score_slice2(SeriesState& st, double x, double* var) const {
+  if (st.count < opts_.min_baseline) {
+    *var = 1.0;
+    return 0.0;
+  }
+  const double mean = st.sum * st.inv_n;
+  double v = st.sumsq * st.inv_n - mean * mean;
+  if (v < 0.0) v = 0.0;  // catastrophic cancellation guard
+  const double floor = std::max(opts_.sigma_abs_floor,
+                                opts_.sigma_rel_floor * std::abs(mean));
+  const double floor2 = floor * floor;
+  if (v < floor2) v = floor2;
+  *var = v;
+  const double d = x - mean;
+  return d * d;
+}
+
+void Watchdog::push_baseline(SeriesState& st, double x) const {
+  if (st.window.size() < opts_.baseline_window) {
+    st.window.push_back(x);
+    st.sum += x;
+    st.sumsq += x * x;
+    ++st.count;
+    st.inv_n = 1.0 / static_cast<double>(st.count);
+    return;
+  }
+  const double evicted = st.window[st.head];
+  st.window[st.head] = x;
+  if (++st.head == st.window.size()) st.head = 0;
+  st.sum += x - evicted;
+  st.sumsq += x * x - evicted * evicted;
+}
+
+void Watchdog::harvest() {
+  if (in_flight_.empty()) return;
+  // Blocking, in enqueue order (which is deterministic scan order): the
+  // journal's "diagnosed" entries cannot be reordered by worker scheduling.
+  std::vector<InFlight> batch = std::move(in_flight_);
+  in_flight_.clear();
+  const std::size_t slices = stream_.slice_count();
+  const TimeIndex now = slices == 0 ? 0 : static_cast<TimeIndex>(slices - 1);
+  for (InFlight& f : batch) {
+    service::ServiceResponse resp = f.future.get();
+    Incident& inc = incidents_[f.incident_idx];
+    obs::IncidentEvent ev;
+    ev.incident_id = inc.id;
+    ev.slice = now;
+    ev.entity = inc.entity_name;
+    ev.metric = inc.metric;
+    ev.severity = inc.severity;
+    ev.refires = inc.refires;
+    if (resp.status == service::RequestStatus::kOk) {
+      inc.state = IncidentState::kDiagnosed;
+      inc.diagnosis_ok = true;
+      inc.top_causes.clear();
+      {
+        const auto db = stream_.read();
+        const std::size_t top =
+            std::min<std::size_t>(resp.result.causes.size(), 3);
+        for (std::size_t i = 0; i < top; ++i) {
+          const EntityId e = resp.result.causes[i].entity;
+          inc.top_causes.push_back(db->has_entity(e)
+                                       ? db->entity(e).name
+                                       : "<gone>");
+        }
+      }
+      if (!resp.result.audit.empty()) {
+        obs::DiagnosisAudit audit = std::move(resp.result.audit);
+        audit.incident_id = inc.id;
+        audits_.push_back(std::move(audit));
+      }
+      ev.event = "diagnosed";
+      ev.state = std::string(to_string(inc.state));
+      ev.causes = inc.top_causes;
+    } else {
+      // Deadline blown / invalid / engine error: back to open. While the
+      // symptom persists the next scan re-enqueues; if it cleared, the
+      // resolve path takes over.
+      inc.state = IncidentState::kOpen;
+      ev.event = "diagnosis_failed";
+      ev.state = std::string(to_string(inc.state));
+    }
+    journal_event(std::move(ev));
+  }
+}
+
+void Watchdog::enqueue(std::size_t incident_idx, TimeIndex now) {
+  Incident& inc = incidents_[incident_idx];
+  const double z = inc.severity;
+  const int priority = static_cast<int>(
+      std::min<long>(opts_.priority_cap,
+                     std::lround(std::min(z, 1e9))));
+  service::ServiceRequest req;
+  req.symptom_entity = inc.entity;
+  req.symptom_metric = inc.metric;
+  req.now = now;
+  req.train_begin = 0;
+  req.train_end = now + 1;  // online training includes `now`
+  req.max_hops = opts_.max_hops;
+  req.priority = priority;
+  if (opts_.deadline_ms > 0)
+    req.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(opts_.deadline_ms);
+  inc.state = IncidentState::kDiagnosing;
+  inc.priority = priority;
+  inc.diagnosed_severity = inc.severity;
+  in_flight_.push_back({incident_idx, service_.submit(std::move(req))});
+  if (metrics_ != nullptr) metrics_->counter("watchdog.triggers")->add(1);
+
+  obs::IncidentEvent ev;
+  ev.incident_id = inc.id;
+  ev.event = "enqueue";
+  ev.slice = now;
+  ev.entity = inc.entity_name;
+  ev.metric = inc.metric;
+  ev.severity = inc.severity;
+  ev.priority = priority;
+  ev.refires = inc.refires;
+  ev.state = std::string(to_string(inc.state));
+  journal_event(std::move(ev));
+}
+
+void Watchdog::scan() {
+  // Phase 1: settle the previous scan's diagnoses before looking at new
+  // data, so lifecycle transitions interleave deterministically.
+  harvest();
+
+  // Phase 2: score the dirty series' fresh slices against their baselines.
+  dirty_scan_.clear();
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_scan_.swap(dirty_);
+  }
+  std::vector<MetricRef>& dirty = dirty_scan_;
+  // Sorted (entity, kind) scan order — concurrent appends may have enqueued
+  // touches in any interleaving; sorting is what makes scoring order (and
+  // therefore the journal) ingest-thread-count invariant. With one append
+  // per scan (murphyd's per-slice loop) the batch arrives pre-sorted and the
+  // probe skips the sort.
+  if (!std::is_sorted(dirty.begin(), dirty.end()))
+    std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  std::map<EntityId, double> scan_max_z;
+  std::vector<FiringCandidate> candidates;
+  TimeIndex now = 0;
+  {
+    const auto db = stream_.read();
+    const std::size_t slices = db->metrics().axis().size();
+    if (slices == 0) return;
+    now = static_cast<TimeIndex>(slices - 1);
+    // Steady-state fast path: with no incident active, per-entity max-z
+    // tracking (a map write per series) buys nothing — severity refresh is
+    // its only consumer.
+    const bool track_entity_z = !active_incident_of_.empty();
+    const double z_open2 = opts_.z_open * opts_.z_open;
+    const double z_clear2 = opts_.z_clear * opts_.z_clear;
+
+    // Any erase/axis-replacement invalidates every cached series pointer.
+    if (db->metrics().structural_version() != structural_seen_ ||
+        ptr_gen_ == 0) {
+      structural_seen_ = db->metrics().structural_version();
+      ++ptr_gen_;
+    }
+
+    // Merge-walk: dirty and series_ are both ref-sorted, so per-series state
+    // is found by advancing one cursor instead of a tree lookup per ref.
+    // First touches insert in place (keeps series_ sorted); after warmup the
+    // walk is pure contiguous reads.
+    std::size_t si = 0;
+    for (const MetricRef ref : dirty) {
+      while (si < series_.size() && series_[si].first < ref) ++si;
+      if (si == series_.size() || ref < series_[si].first)
+        series_.insert(series_.begin() + static_cast<std::ptrdiff_t>(si),
+                       {ref, SeriesState{}});
+      SeriesState& st = series_[si].second;
+      ++si;
+      // nullptr always re-resolves: a series erased (gen bump) and later
+      // re-created (no structural bump) must not stay invisible.
+      if (st.ts == nullptr || st.ts_gen != ptr_gen_) {
+        st.ts = db->metrics().find(ref.entity, ref.kind);
+        st.ts_gen = ptr_gen_;
+      }
+      const telemetry::TimeSeries* ts = st.ts;
+      if (ts == nullptr) continue;
+      // First touch backfills from slice 0: the warm prefix seeds the
+      // baseline (deterministically — same history, same moments) instead of
+      // the series spending min_baseline live slices blind.
+      const TimeIndex end = static_cast<TimeIndex>(ts->size());
+      for (TimeIndex t = st.next_t; t < end; ++t) {
+        if (!ts->is_valid(t)) continue;
+        const double x = ts->value(t);
+        // Defense in depth: validity bits can lie about raw writes
+        // (DESIGN.md §8). A non-finite sample never scores and never enters
+        // the baseline, so no z downstream can be non-finite.
+        if (!std::isfinite(x)) continue;
+        // Hysteresis in squared space: z >= thr  <=>  diff2 >= thr^2 * var.
+        double var = 1.0;
+        const double diff2 = score_slice2(st, x, &var);
+        st.last_diff2 = diff2;
+        st.last_var = var;
+        if (diff2 >= z_open2 * var) {
+          ++st.hits;
+          st.cool = 0;
+        } else if (diff2 < z_clear2 * var) {
+          ++st.cool;
+          st.hits = 0;
+        } else {
+          // Hysteresis band: hold state, reset both streaks.
+          st.hits = 0;
+          st.cool = 0;
+        }
+        if (!st.firing && st.hits >= opts_.open_hits) {
+          st.firing = true;
+          ++total_firing_;
+          ++firing_series_of_[ref.entity];
+        } else if (st.firing && st.cool >= opts_.clear_streak) {
+          st.firing = false;
+          --total_firing_;
+          auto it = firing_series_of_.find(ref.entity);
+          if (it != firing_series_of_.end() && it->second > 0) --it->second;
+        }
+        // Freeze the baseline while hot: a sustained incident must not
+        // inflate sigma enough to mask itself (see header).
+        if (!st.firing) push_baseline(st, x);
+        if (track_entity_z && active_incident_of_.contains(ref.entity)) {
+          double& mz = scan_max_z[ref.entity];
+          mz = std::max(mz, std::sqrt(diff2 / var));
+        }
+      }
+      st.next_t = end;
+    }
+
+    // Eligible entities: firing, not already covered by an active incident,
+    // strongest driver first. Driver = the entity's max-|z| firing series
+    // (z ties break toward the lowest kind id, keeping the pick independent
+    // of iteration order). Skipped wholesale in the quiet steady state.
+    if (total_firing_ > 0) {
+      std::map<EntityId, std::pair<double, MetricKindId>> driver;
+      for (const auto& [ref, st] : series_) {
+        if (!st.firing) continue;
+        if (active_incident_of_.contains(ref.entity)) continue;
+        const double z = last_z(st);
+        auto [it, fresh] = driver.try_emplace(ref.entity,
+                                              std::make_pair(z, ref.kind));
+        if (!fresh && (z > it->second.first ||
+                       (z == it->second.first &&
+                        ref.kind < it->second.second)))
+          it->second = {z, ref.kind};
+      }
+      for (const auto& [entity, best] : driver) {
+        // An entity may have been dropped after its series fired; it cannot
+        // anchor (or join) an incident anymore.
+        if (!db->has_entity(entity)) continue;
+        FiringCandidate c;
+        c.entity = entity;
+        c.entity_name = db->entity(entity).name;
+        c.metric = std::string(db->catalog().name(best.second));
+        c.z = best.first;
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const FiringCandidate& a, const FiringCandidate& b) {
+                     if (a.z != b.z) return a.z > b.z;
+                     return a.entity < b.entity;
+                   });
+
+  // Phase 3: trigger policy — severity refresh, open/attach, refire,
+  // re-enqueue, resolve. No stream lock held: submit() may run the
+  // diagnosis inline when the service has zero workers.
+  for (const auto& [entity, idx] : active_incident_of_) {
+    const auto it = scan_max_z.find(entity);
+    if (it != scan_max_z.end())
+      incidents_[idx].severity = std::max(incidents_[idx].severity,
+                                          it->second);
+  }
+
+  if (!candidates.empty()) {
+    // Co-onset grouping: attach to the youngest active incident opened
+    // within group_window slices, if any.
+    std::size_t target = SIZE_MAX;
+    for (const auto& [entity, idx] : active_incident_of_) {
+      const Incident& inc = incidents_[idx];
+      if (inc.state == IncidentState::kResolved) continue;
+      if (now < inc.opened_at + static_cast<TimeIndex>(opts_.group_window) + 1 &&
+          (target == SIZE_MAX || inc.opened_at > incidents_[target].opened_at ||
+           (inc.opened_at == incidents_[target].opened_at &&
+            inc.id > incidents_[target].id)))
+        target = idx;
+    }
+
+    std::size_t attach_from = 0;
+    if (target == SIZE_MAX) {
+      // No incident to join: the strongest non-cooled candidate opens one.
+      std::size_t opener = SIZE_MAX;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const auto cd = cooldown_until_.find(candidates[i].entity);
+        if (cd != cooldown_until_.end() && now < cd->second) {
+          if (metrics_ != nullptr)
+            metrics_->counter("watchdog.suppressed")->add(1);
+          continue;
+        }
+        opener = i;
+        break;
+      }
+      if (opener != SIZE_MAX) {
+        const FiringCandidate& c = candidates[opener];
+        Incident inc;
+        inc.id = ++next_incident_id_;
+        inc.entity = c.entity;
+        inc.entity_name = c.entity_name;
+        inc.metric = c.metric;
+        inc.opened_at = now;
+        inc.severity = c.z;
+        inc.members.push_back(c.entity);
+        incidents_.push_back(std::move(inc));
+        target = incidents_.size() - 1;
+        active_incident_of_[c.entity] = target;
+        if (metrics_ != nullptr)
+          metrics_->counter("watchdog.incidents_opened")->add(1);
+
+        obs::IncidentEvent ev;
+        ev.incident_id = incidents_[target].id;
+        ev.event = "open";
+        ev.slice = now;
+        ev.entity = c.entity_name;
+        ev.metric = c.metric;
+        ev.severity = incidents_[target].severity;
+        ev.state = std::string(to_string(IncidentState::kOpen));
+        journal_event(std::move(ev));
+
+        enqueue(target, now);
+        // Remaining candidates (weaker co-onset symptoms) attach below.
+        candidates.erase(candidates.begin() +
+                         static_cast<std::ptrdiff_t>(opener));
+        attach_from = 0;
+      } else {
+        candidates.clear();  // everyone cooled down; nothing to do
+      }
+    }
+
+    for (std::size_t i = attach_from;
+         target != SIZE_MAX && i < candidates.size(); ++i) {
+      const FiringCandidate& c = candidates[i];
+      const auto cd = cooldown_until_.find(c.entity);
+      if (cd != cooldown_until_.end() && now < cd->second) {
+        if (metrics_ != nullptr)
+          metrics_->counter("watchdog.suppressed")->add(1);
+        continue;
+      }
+      Incident& inc = incidents_[target];
+      inc.members.push_back(c.entity);
+      inc.severity = std::max(inc.severity, c.z);
+      active_incident_of_[c.entity] = target;
+      if (metrics_ != nullptr)
+        metrics_->counter("watchdog.suppressed")->add(1);
+
+      obs::IncidentEvent ev;
+      ev.incident_id = inc.id;
+      ev.event = "attach";
+      ev.slice = now;
+      ev.entity = c.entity_name;
+      ev.metric = c.metric;
+      ev.severity = inc.severity;
+      ev.refires = inc.refires;
+      ev.state = std::string(to_string(inc.state));
+      journal_event(std::move(ev));
+    }
+  }
+
+  // Refire / retry / resolve, in incident order (deterministic).
+  for (std::size_t idx = 0; idx < incidents_.size(); ++idx) {
+    Incident& inc = incidents_[idx];
+    if (inc.state == IncidentState::kResolved ||
+        inc.state == IncidentState::kDiagnosing)
+      continue;
+    bool any_firing = false;
+    for (const EntityId e : inc.members) {
+      const auto it = firing_series_of_.find(e);
+      if (it != firing_series_of_.end() && it->second > 0) {
+        any_firing = true;
+        break;
+      }
+    }
+    if (!any_firing) {
+      std::size_t& quiet = quiet_scans_[idx];
+      if (++quiet >= opts_.resolve_streak) {
+        inc.state = IncidentState::kResolved;
+        inc.resolved_at = now;
+        for (const EntityId e : inc.members) {
+          active_incident_of_.erase(e);
+          cooldown_until_[e] = now + static_cast<TimeIndex>(opts_.cooldown);
+        }
+        quiet_scans_.erase(idx);
+
+        obs::IncidentEvent ev;
+        ev.incident_id = inc.id;
+        ev.event = "resolve";
+        ev.slice = now;
+        ev.entity = inc.entity_name;
+        ev.metric = inc.metric;
+        ev.severity = inc.severity;
+        ev.refires = inc.refires;
+        ev.state = std::string(to_string(inc.state));
+        journal_event(std::move(ev));
+      }
+      continue;
+    }
+    quiet_scans_[idx] = 0;
+    if (inc.state == IncidentState::kOpen) {
+      // diagnosis_failed earlier but the symptom persists: try again.
+      enqueue(idx, now);
+    } else if (inc.state == IncidentState::kDiagnosed &&
+               inc.severity >=
+                   opts_.escalation_ratio * inc.diagnosed_severity) {
+      ++inc.refires;
+      obs::IncidentEvent ev;
+      ev.incident_id = inc.id;
+      ev.event = "refire";
+      ev.slice = now;
+      ev.entity = inc.entity_name;
+      ev.metric = inc.metric;
+      ev.severity = inc.severity;
+      ev.refires = inc.refires;
+      ev.state = std::string(to_string(inc.state));
+      journal_event(std::move(ev));
+      enqueue(idx, now);
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("watchdog.scans")->add(1);
+    metrics_->gauge("watchdog.incidents_open")
+        ->set(static_cast<double>(open_count()));
+  }
+}
+
+void Watchdog::drain() {
+  // Each iteration harvests every in-flight diagnosis (blocking) and runs
+  // the lifecycle forward; a kOpen incident with a live symptom re-enqueues
+  // and is harvested next iteration, a quiet one resolves within
+  // resolve_streak iterations. The bound is a defensive backstop against a
+  // service that fails every request forever.
+  const std::size_t bound = opts_.resolve_streak + 8;
+  for (std::size_t i = 0; i < bound; ++i) {
+    scan();
+    if (!in_flight_.empty()) continue;
+    bool settled = true;
+    for (const Incident& inc : incidents_) {
+      if (inc.state == IncidentState::kOpen ||
+          inc.state == IncidentState::kDiagnosing) {
+        settled = false;
+        break;
+      }
+    }
+    if (settled) return;
+  }
+}
+
+std::size_t Watchdog::open_count() const {
+  std::size_t n = 0;
+  for (const Incident& inc : incidents_)
+    if (inc.state != IncidentState::kResolved) ++n;
+  return n;
+}
+
+std::string to_json(const Incident& inc) {
+  std::string out = "{\"id\":";
+  out += obs::json_number(inc.id);
+  out += ",\"state\":";
+  obs::json_append_escaped(out, to_string(inc.state));
+  out += ",\"entity\":";
+  obs::json_append_escaped(out, inc.entity_name);
+  out += ",\"metric\":";
+  obs::json_append_escaped(out, inc.metric);
+  out += ",\"opened_at\":";
+  out += obs::json_number(static_cast<std::uint64_t>(inc.opened_at));
+  out += ",\"resolved_at\":";
+  out += obs::json_number(static_cast<std::uint64_t>(inc.resolved_at));
+  out += ",\"severity\":";
+  out += obs::json_number(inc.severity);
+  out += ",\"priority\":";
+  out += obs::json_number(static_cast<std::int64_t>(inc.priority));
+  out += ",\"refires\":";
+  out += obs::json_number(inc.refires);
+  out += ",\"members\":";
+  out += obs::json_number(static_cast<std::uint64_t>(inc.members.size()));
+  out += ",\"causes\":[";
+  for (std::size_t i = 0; i < inc.top_causes.size(); ++i) {
+    if (i > 0) out += ",";
+    obs::json_append_escaped(out, inc.top_causes[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(std::span<const Incident> incidents) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    if (i > 0) out += ",";
+    out += to_json(incidents[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string Watchdog::journal_jsonl() const { return obs::to_jsonl(journal_); }
+
+std::string Watchdog::audit_jsonl() const {
+  std::string out;
+  for (const obs::DiagnosisAudit& a : audits_) out += obs::to_jsonl(a);
+  return out;
+}
+
+}  // namespace murphy::watchdog

@@ -1,0 +1,289 @@
+// Always-on watchdog: streaming anomaly detection feeding continuous
+// diagnosis (DESIGN.md §10).
+//
+// Murphy is request-driven — someone must notice a symptom before the
+// engine can explain it. The watchdog closes that loop: it rides the
+// TelemetryStream's post-commit observer (series touched + write epochs), so
+// only freshly-written series are ever rescored, maintains O(1) incremental
+// window statistics per (entity, kind) series, and turns sustained
+// anomalies into prioritized DiagnosisService requests through a debounced
+// trigger policy with a full incident lifecycle:
+//
+//   open -> diagnosing -> diagnosed -> resolved
+//                ^            |  (re-fire escalation when severity grows)
+//                +------------+
+//
+// Detector. Each series keeps a trailing window of its last
+// `baseline_window` finite values with running sum/sum-of-squares, so
+// scoring a new slice is O(1): z = |x - mean| / max(sigma, floor), the
+// streaming analogue of the engine's robust anomaly score (core/anomaly.h).
+// The ranking engine can afford median/MAD over a training window; the
+// detector cannot, so windowed mean/sigma stand in — with the same
+// self-masking defense by a different mechanism: while a series is hot its
+// values are NOT folded into the baseline (the window freezes), so a
+// sustained incident cannot inflate sigma enough to hide itself, and
+// recovery is measured against the pre-incident baseline. Non-finite and
+// missing slices never score and never enter the baseline, so corrupted
+// telemetry cannot open an incident through a non-finite z (the chaos
+// property, DESIGN.md §8).
+//
+// Trigger policy. A series fires after `open_hits` consecutive scores at or
+// above z_open and clears after `clear_streak` consecutive scores below
+// z_clear (hysteresis; between the two thresholds it holds state). Newly
+// firing entities are deduplicated against in-flight work: entities already
+// covered by an active incident update its severity instead of opening a
+// second one; co-onset firings within `group_window` slices of an open
+// incident attach to it (one fault lighting up a neighborhood yields ONE
+// incident); a resolved entity is in cooldown for `cooldown` slices.
+// Opening an incident enqueues a DiagnosisService request whose priority is
+// the anomaly severity (rounded z, capped) — severe symptoms preempt mild
+// ones in the PR 5 priority queue.
+//
+// Determinism contract. The incident journal (obs::IncidentEvent JSONL) is
+// a pure function of (db contents at each scan, scan schedule, options):
+// bitwise identical at any ingest thread count and any service worker
+// count. The pieces: dirty series are scored in sorted (entity, kind) order
+// from db state (not notification order); in-flight diagnoses are harvested
+// blocking, in incident-id order, at the START of each scan (so completion
+// timing cannot reorder journal entries); and every journal field is slice-
+// indexed, never wall-clocked. Auto-enqueued requests carry now/train
+// windows frozen at enqueue time, and replayed telemetry is append-only
+// past `now`, so the diagnosis result itself is deterministic even though
+// ingestion continues while workers run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time_axis.h"
+#include "src/obs/audit.h"
+#include "src/obs/metrics.h"
+#include "src/service/diagnosis_service.h"
+#include "src/service/telemetry_stream.h"
+
+namespace murphy::watchdog {
+
+struct WatchdogOptions {
+  // --- detector ------------------------------------------------------------
+  // Trailing finite samples per series the baseline is computed over.
+  std::size_t baseline_window = 64;
+  // Slices never score before the baseline holds this many samples (a
+  // newborn series must earn a baseline before it can alarm).
+  std::size_t min_baseline = 16;
+  // Hysteresis pair: a series turns hot at/above z_open and cools below
+  // z_clear. z_clear < z_open or the hysteresis is vacuous.
+  double z_open = 6.0;
+  double z_clear = 2.5;
+  // Consecutive hot scores before a series fires (debounce: one spiky slice
+  // is not an incident).
+  std::size_t open_hits = 2;
+  // Consecutive cool scores before a firing series clears.
+  std::size_t clear_streak = 4;
+  // Scale-aware sigma floor: sigma is clamped to
+  // max(sigma_abs_floor, sigma_rel_floor * |mean|), so constant and
+  // near-constant baselines (chaos-injected or real) cannot manufacture
+  // infinite z from denormal variance (DESIGN.md §8 regime).
+  double sigma_abs_floor = 1e-9;
+  double sigma_rel_floor = 1e-12;
+
+  // --- trigger policy / lifecycle -----------------------------------------
+  // Entities firing within this many slices of an active incident's open
+  // attach to it instead of opening their own (fault neighborhoods co-fire).
+  std::size_t group_window = 6;
+  // Slices after an entity's incident resolves before it may open another.
+  std::size_t cooldown = 12;
+  // Re-fire: a diagnosed-but-unresolved incident re-enqueues when its
+  // severity reaches escalation_ratio * the severity it was last diagnosed
+  // at (the fault got materially worse — the old ranking may be stale).
+  double escalation_ratio = 1.5;
+  // Consecutive scans with no firing member series before auto-resolve.
+  std::size_t resolve_streak = 3;
+
+  // --- auto-enqueued requests ---------------------------------------------
+  std::size_t max_hops = 6;
+  // Per-request deadline; 0 = none. Deadline enforcement is the service's
+  // (dequeue check + phase-boundary cancellation).
+  long deadline_ms = 0;
+  // Priority = min(round(severity z), priority_cap): severity-ordered, but
+  // capped so a pathological z cannot starve everything else forever.
+  int priority_cap = 1000;
+
+  // Forensic sink: invoked synchronously (from scan()) for every journal
+  // event, in journal order. murphyd uses this to emit per-incident T2-style
+  // forensic markers as transitions happen.
+  std::function<void(const obs::IncidentEvent&)> on_event;
+};
+
+enum class IncidentState : std::uint8_t {
+  kOpen = 0,        // symptom observed, no diagnosis in flight
+  kDiagnosing,      // a DiagnosisService request is in flight
+  kDiagnosed,       // latest diagnosis completed kOk
+  kResolved,        // symptom cleared (terminal)
+};
+
+[[nodiscard]] std::string_view to_string(IncidentState s);
+
+struct Incident {
+  std::uint64_t id = 0;  // 1-based, assigned in deterministic open order
+  IncidentState state = IncidentState::kOpen;
+  EntityId entity;          // primary symptom entity (max-z firing at open)
+  std::string entity_name;
+  std::string metric;       // driver metric of the primary firing series
+  TimeIndex opened_at = 0;
+  TimeIndex resolved_at = 0;
+  double severity = 0.0;           // max member |z| seen over the lifetime
+  double diagnosed_severity = 0.0; // severity at the last enqueue
+  int priority = 0;                // priority of the last enqueue
+  std::uint64_t refires = 0;
+  // Entities attributed to this incident (primary first, then attach order).
+  std::vector<EntityId> members;
+  // Top-ranked root-cause entity names from the latest kOk diagnosis.
+  std::vector<std::string> top_causes;
+  bool diagnosis_ok = false;
+};
+
+// Deterministic single-line JSON renderings (fixed key order, round-trip
+// number precision) — the INCIDENTS daemon verb and tests use these.
+[[nodiscard]] std::string to_json(const Incident& inc);
+[[nodiscard]] std::string to_json(std::span<const Incident> incidents);
+
+class Watchdog {
+ public:
+  // Stream and service must outlive the watchdog. `metrics` may be null
+  // (counters are then skipped). attach() must be called to start receiving
+  // touches; scan() drives everything else.
+  Watchdog(service::TelemetryStream& stream, service::DiagnosisService& service,
+           WatchdogOptions opts, obs::MetricsRegistry* metrics = nullptr);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Installs this watchdog as the stream's commit observer. detach() (or
+  // destruction) uninstalls it; the stream must not outlive the watchdog
+  // while attached.
+  void attach();
+  void detach();
+
+  // Records touched series. Thread-safe and cheap (set insertion under a
+  // mutex); safe to call from any number of concurrent appenders.
+  void note(std::span<const service::SeriesTouch> touches);
+
+  // One watchdog cycle: (1) harvest finished diagnoses (blocking, incident-
+  // id order), (2) score every dirty series' new slices against its
+  // baseline, (3) run the trigger policy (open/attach/refire/resolve,
+  // enqueue requests). Call after each ingest batch (murphyd: per replayed
+  // slice). NOT thread-safe against itself — one scanner at a time; it IS
+  // safe against concurrent note()/append().
+  void scan();
+
+  // Harvests all in-flight diagnoses and re-scans until the lifecycle
+  // quiesces: every incident ends kDiagnosed or kResolved. Call at shutdown
+  // or end of replay before reading final state.
+  void drain();
+
+  // All incidents ever opened, indexed by id - 1.
+  [[nodiscard]] const std::vector<Incident>& incidents() const {
+    return incidents_;
+  }
+  [[nodiscard]] std::size_t open_count() const;
+
+  // The lifecycle journal so far (obs::IncidentEvent JSONL, deterministic).
+  [[nodiscard]] std::string journal_jsonl() const;
+  [[nodiscard]] const std::vector<obs::IncidentEvent>& journal() const {
+    return journal_;
+  }
+
+  // Per-candidate diagnosis audits of completed incident diagnoses, each
+  // stamped with its incident_id — the DESIGN.md §10 audit linkage. Only
+  // populated when the service's MurphyOptions::obs.collect_audit is set.
+  [[nodiscard]] std::string audit_jsonl() const;
+
+ private:
+  struct SeriesState {
+    // Ring buffer of the last `baseline_window` finite samples.
+    std::vector<double> window;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    double inv_n = 0.0;  // 1/count, updated only when count changes
+    TimeIndex next_t = 0;  // first slice not yet scored
+    // Last score in squared space: z^2 = diff2 / var. The hot loop never
+    // takes a sqrt or divides — z itself is materialized lazily (candidate
+    // ranking, severity refresh), where only firing series are touched.
+    double last_diff2 = 0.0;
+    double last_var = 1.0;
+    std::size_t hits = 0;
+    std::size_t cool = 0;
+    bool firing = false;
+    // Cached series pointer: unordered_map nodes are address-stable under
+    // insert, and every erase path bumps the store's structural_version —
+    // ts_gen ties the cache to that version, so a stale pointer is never
+    // dereferenced. Saves a hash lookup per series per scan.
+    const telemetry::TimeSeries* ts = nullptr;
+    std::uint64_t ts_gen = 0;
+  };
+
+  struct InFlight {
+    std::size_t incident_idx = 0;
+    std::future<service::ServiceResponse> future;
+  };
+
+  void journal_event(obs::IncidentEvent ev);
+  void harvest();
+  void enqueue(std::size_t incident_idx, TimeIndex now);
+  // Scores x against the baseline in squared space: writes the floored
+  // variance to *var and returns (x - mean)^2; z^2 is the ratio. Below
+  // min_baseline returns 0 with *var = 1 (z == 0).
+  [[nodiscard]] double score_slice2(SeriesState& st, double x,
+                                    double* var) const;
+  void push_baseline(SeriesState& st, double x) const;
+  [[nodiscard]] static double last_z(const SeriesState& st) {
+    return std::sqrt(st.last_diff2 / st.last_var);
+  }
+
+  service::TelemetryStream& stream_;
+  service::DiagnosisService& service_;
+  WatchdogOptions opts_;
+  obs::MetricsRegistry* metrics_;
+
+  std::mutex dirty_mu_;
+  // Dirty list: series with unscored writes. Append-only under the mutex
+  // (O(1) per touch on the ingest path); the scan swaps it out and
+  // sort+uniques — scoring reads db slices, not epochs, so only the ref
+  // matters.
+  std::vector<MetricRef> dirty_;
+  // Scan-side scratch, swapped with dirty_ each scan: the two buffers
+  // ping-pong so neither side reallocates in steady state.
+  std::vector<MetricRef> dirty_scan_;
+
+  // Scan-side state (single scanner; no locking needed beyond dirty_mu_).
+  // Sorted by ref: the scan merge-joins the sorted dirty list against it
+  // (contiguous, O(dirty + series)) instead of a tree lookup per series —
+  // this is the per-slice hot loop of the always-on path.
+  std::vector<std::pair<MetricRef, SeriesState>> series_;
+  std::size_t total_firing_ = 0;  // firing series across all entities
+  std::map<EntityId, std::size_t> firing_series_of_;  // count per entity
+  std::map<EntityId, std::size_t> active_incident_of_;  // -> incidents_ index
+  std::map<EntityId, TimeIndex> cooldown_until_;
+  std::map<std::size_t, std::size_t> quiet_scans_;  // incident idx -> streak
+  std::vector<Incident> incidents_;
+  std::vector<InFlight> in_flight_;
+  std::vector<obs::IncidentEvent> journal_;
+  std::vector<obs::DiagnosisAudit> audits_;
+  std::uint64_t next_incident_id_ = 0;
+  // Series-pointer cache generation (see SeriesState::ts_gen).
+  std::uint64_t structural_seen_ = 0;
+  std::uint64_t ptr_gen_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace murphy::watchdog

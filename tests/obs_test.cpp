@@ -18,6 +18,7 @@
 #include "src/core/batch.h"
 #include "src/obs/audit.h"
 #include "src/obs/json.h"
+#include "src/obs/markers.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -394,6 +395,7 @@ DiagnosisAudit sample_audit() {
   audit.now = 199;
   audit.graph_nodes = 12;
   audit.variables = 30;
+  audit.incident_id = 41;  // watchdog linkage
   CandidateAudit accepted;
   accepted.entity = EntityId(3);
   accepted.entity_name = "db-vm";
@@ -434,6 +436,7 @@ TEST(Audit, JsonlRoundTripsEveryField) {
   EXPECT_EQ(parsed.now, original.now);
   EXPECT_EQ(parsed.graph_nodes, original.graph_nodes);
   EXPECT_EQ(parsed.variables, original.variables);
+  EXPECT_EQ(parsed.incident_id, original.incident_id);
   ASSERT_EQ(parsed.candidates.size(), original.candidates.size());
   for (std::size_t i = 0; i < original.candidates.size(); ++i) {
     const CandidateAudit& a = original.candidates[i];
@@ -479,6 +482,112 @@ TEST(Audit, EveryLineIsStandaloneJson) {
     begin = end + 1;
   }
   EXPECT_EQ(lines, 3u);
+}
+
+TEST(IncidentJournal, JsonlRoundTripsEveryField) {
+  std::vector<IncidentEvent> events(2);
+  events[0].incident_id = 7;
+  events[0].event = "open";
+  events[0].slice = 315;
+  events[0].entity = "profile \"eu\"";  // exercise escaping
+  events[0].metric = "latency_ms";
+  events[0].severity = 110.5;
+  events[0].state = "open";
+  events[1].incident_id = 7;
+  events[1].event = "diagnosed";
+  events[1].slice = 317;
+  events[1].entity = "profile \"eu\"";
+  events[1].metric = "latency_ms";
+  events[1].severity = 0.1;  // non-dyadic double round-trip
+  events[1].priority = 111;
+  events[1].refires = 2;
+  events[1].state = "diagnosed";
+  events[1].causes = {"rate", "search"};
+  const std::string text = to_jsonl(events);
+  std::vector<IncidentEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_incident_jsonl(text, parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].incident_id, events[i].incident_id);
+    EXPECT_EQ(parsed[i].event, events[i].event);
+    EXPECT_EQ(parsed[i].slice, events[i].slice);
+    EXPECT_EQ(parsed[i].entity, events[i].entity);
+    EXPECT_EQ(parsed[i].metric, events[i].metric);
+    EXPECT_EQ(parsed[i].severity, events[i].severity);
+    EXPECT_EQ(parsed[i].priority, events[i].priority);
+    EXPECT_EQ(parsed[i].refires, events[i].refires);
+    EXPECT_EQ(parsed[i].state, events[i].state);
+    EXPECT_EQ(parsed[i].causes, events[i].causes);
+  }
+  // Byte-stable: the journal is part of the determinism contract.
+  EXPECT_EQ(to_jsonl(parsed), text);
+}
+
+TEST(Markers, NameFollowsT2Convention) {
+  EXPECT_EQ(marker_name("Murphyd", "service.total_ms"),
+            "MurphydServiceTotalMs_split");
+  EXPECT_EQ(marker_name("Murphyd", "watchdog.incidents_open"),
+            "MurphydWatchdogIncidentsOpen_split");
+  EXPECT_EQ(marker_name("AppGw", "cpu-util"), "AppGwCpuUtil_split");
+}
+
+TEST(Markers, PayloadIsDeterministicJson) {
+  Marker m;
+  m.name = "MurphydIngestCells_split";
+  m.sum = 6825.0;
+  m.count = 1;
+  m.unit = "count";
+  m.interval_sec = 5.0;
+  EXPECT_EQ(marker_payload_json(m),
+            "{\"sum\":6825,\"count\":1,\"unit\":\"count\","
+            "\"reporting_interval_sec\":5}");
+}
+
+TEST(Markers, AggregatorDiffsCountersAndEmitsGauges) {
+  MetricsRegistry reg;
+  reg.counter("ingest.cells")->add(100);
+  reg.counter("idle.counter");  // never incremented: must not emit
+  reg.gauge("watchdog.incidents_open")->set(2.0);
+  Histogram* h = reg.histogram("service.total_ms", {1.0, 10.0, 100.0});
+  h->observe(10.0);
+  h->observe(30.0);
+
+  MarkerAggregator agg("Murphyd");
+  const std::vector<Marker> first = agg.collect(reg.snapshot(), 5.0);
+  // idle.counter has zero delta -> skipped; the other three emit.
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].name, "MurphydIngestCells_split");
+  EXPECT_EQ(first[0].sum, 100.0);
+  EXPECT_EQ(first[0].unit, "count");
+  EXPECT_EQ(first[1].name, "MurphydServiceTotalMs_split");
+  EXPECT_EQ(first[1].sum, 40.0);  // histogram sum delta
+  EXPECT_EQ(first[1].count, 2u);  // observation-count delta
+  EXPECT_EQ(first[1].unit, "ms");
+  EXPECT_EQ(first[2].name, "MurphydWatchdogIncidentsOpen_split");
+  EXPECT_EQ(first[2].sum, 2.0);
+
+  // Second interval: only what changed since the first collect.
+  reg.counter("ingest.cells")->add(50);
+  reg.gauge("watchdog.incidents_open")->set(0.0);
+  const std::vector<Marker> second = agg.collect(reg.snapshot(), 5.0);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].name, "MurphydIngestCells_split");
+  EXPECT_EQ(second[0].sum, 50.0);  // delta, not cumulative
+  EXPECT_EQ(second[1].name, "MurphydWatchdogIncidentsOpen_split");
+  EXPECT_EQ(second[1].sum, 0.0);  // gauges always report point-in-time
+}
+
+TEST(Markers, CounterResetReportsPostResetValue) {
+  MetricsRegistry reg;
+  reg.counter("ingest.cells")->add(100);
+  MarkerAggregator agg;
+  (void)agg.collect(reg.snapshot(), 1.0);
+  reg.reset();
+  reg.counter("ingest.cells")->add(30);
+  const std::vector<Marker> after = agg.collect(reg.snapshot(), 1.0);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].sum, 30.0);  // not the negative delta -70
 }
 
 TEST(Audit, ParseRejectsMissingOrDuplicateHeader) {
