@@ -30,6 +30,7 @@
 //   common: --split F (warm fraction, default 0.75) --workers N --queue N
 //           --replay-ms M (auto-replay one slice every M ms)
 //           --watchdog --marker-every N --audit-out FILE
+//           --fast-inference (vectorized counterfactual kernel, DESIGN.md §11)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -64,6 +65,7 @@ struct Args {
   std::size_t queue = 64;
   long replay_ms = 0;  // 0 = manual REPLAY only
   bool watchdog = false;
+  bool fast_inference = false;
   std::size_t marker_every = 0;  // 0 = MARKERS verb only
   std::string audit_out;         // incident-linked diagnosis audits (JSONL)
 };
@@ -95,6 +97,8 @@ Args parse_args(int argc, char** argv) {
       a.replay_ms = std::stol(next());
     } else if (flag == "--watchdog") {
       a.watchdog = true;
+    } else if (flag == "--fast-inference") {
+      a.fast_inference = true;
     } else if (flag == "--marker-every") {
       a.marker_every = static_cast<std::size_t>(std::stoul(next()));
     } else if (flag == "--audit-out") {
@@ -148,6 +152,9 @@ int main(int argc, char** argv) {
   sopts.num_workers = args.workers;
   sopts.max_queue = args.queue;
   sopts.murphy.num_threads = 1;  // concurrency comes from the worker pool
+  // Vectorized counterfactual inference (statistical-equivalence contract;
+  // audits and the infer.fast_path counter record the mode per verdict).
+  sopts.murphy.fast_inference = args.fast_inference;
   sopts.murphy.obs.metrics = &obs::global_metrics();
   sopts.murphy.obs.collect_audit = !args.audit_out.empty();
   service::DiagnosisService svc(stream, sopts);

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Diff two metrics-registry JSON snapshots instrument by instrument.
 
-Usage: scripts/metrics_diff.py [--prefix P]... [--ignore P]... <a> <b>
+Usage: scripts/metrics_diff.py [--prefix P]... [--ignore P]... \
+           [--rel-tol R] <a> <b>
 
 Accepts any of the snapshot shapes the repo emits:
   * a raw registry object        {"name": {"kind": ..., "value": ...}, ...}
@@ -18,6 +19,12 @@ run, so CI determinism checks pass e.g.
 Counters and gauges compare by value; histograms by count and sum. Exit 0
 when everything selected matches exactly, 1 on any difference, 2 on usage
 or parse errors.
+
+--rel-tol R admits numeric values within relative tolerance R
+(|a-b| <= R * max(|a|, |b|)): fast-inference runs are statistically, not
+bitwise, equivalent, so CI gates their timing/score metrics approximately
+while a second exact invocation (no --rel-tol) still guards the
+deterministic prefixes. Default 0.0 = exact comparison.
 """
 import json
 import sys
@@ -50,8 +57,21 @@ def key_stats(entry):
     return {"value": entry.get("value")}
 
 
+def within_tolerance(a, b, rel_tol):
+    """Exact match, or — for two finite numbers — within relative tolerance."""
+    if a == b:
+        return True
+    if rel_tol <= 0.0:
+        return False
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in (a, b)):
+        return False
+    return abs(a - b) <= rel_tol * max(abs(a), abs(b))
+
+
 def main():
     prefixes, ignores, paths = [], [], []
+    rel_tol = 0.0
     argv = sys.argv[1:]
     i = 0
     while i < len(argv):
@@ -61,12 +81,20 @@ def main():
         elif argv[i] == "--ignore" and i + 1 < len(argv):
             ignores.append(argv[i + 1])
             i += 2
+        elif argv[i] == "--rel-tol" and i + 1 < len(argv):
+            try:
+                rel_tol = float(argv[i + 1])
+            except ValueError:
+                print(f"bad --rel-tol: {argv[i + 1]}", file=sys.stderr)
+                return 2
+            i += 2
         else:
             paths.append(argv[i])
             i += 1
     if len(paths) != 2:
         print(
-            f"usage: {sys.argv[0]} [--prefix P]... [--ignore P]... <a> <b>",
+            f"usage: {sys.argv[0]} [--prefix P]... [--ignore P]..."
+            f" [--rel-tol R] <a> <b>",
             file=sys.stderr,
         )
         return 2
@@ -95,7 +123,8 @@ def main():
             bad += 1
             continue
         sa, sb = key_stats(a[name]), key_stats(b[name])
-        if sa != sb:
+        if any(not within_tolerance(sa.get(k), sb.get(k), rel_tol)
+               for k in set(sa) | set(sb)):
             print(f"DIFF {name}: {sa} != {sb}")
             bad += 1
     if bad:

@@ -165,6 +165,12 @@ struct SampleKernel {
   std::vector<std::uint32_t> feat;  // feature VarIndex, contiguous per var
   std::vector<double> w;            // standardized-space weight per slot
   std::vector<double> fscale;       // feature scale per slot
+  // Pre-divided weights w[k]/fscale[k], folded once at build_kernel() time
+  // for the fast-inference SoA kernel: one FMA per slot instead of a
+  // multiply + divide. NOT used by the scalar path — (w * c) / s and
+  // (w / s) * c round differently, and the scalar stream is the bitwise
+  // golden.
+  std::vector<double> wdiv;
   // Shared per-variable centering; 0 for variables that never appear as a
   // feature of a flattened conditional.
   std::vector<double> mean;

@@ -140,6 +140,7 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
   const std::uint64_t infer_span_id = infer_span.id();
   SamplerOptions smp = opts_.sampler;
   smp.seed = opts_.seed ^ 0x5EEDULL;
+  smp.fast_inference = opts_.fast_inference;
   CounterfactualSampler sampler(graph, space, factors, smp);
   // One backward BFS from the symptom, shared by every candidate's
   // shortest-path-subgraph computation in the parallel loop below.
@@ -149,12 +150,23 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
   obs::Counter* c_accepted = nullptr;
   obs::Counter* c_resamples = nullptr;
   obs::Counter* c_kernel_cells = nullptr;
+  obs::Counter* c_fast = nullptr;
+  obs::Counter* c_fast_fallback = nullptr;
   obs::Histogram* h_pvalue = nullptr;
   if (hooks.metrics != nullptr) {
     c_evaluated = hooks.metrics->counter("infer.candidates_evaluated");
     c_accepted = hooks.metrics->counter("infer.candidates_accepted");
     c_resamples = hooks.metrics->counter("infer.gibbs_node_resamples");
     c_kernel_cells = hooks.metrics->counter("infer.kernel_cells");
+    // Mode provenance: which path produced the verdicts. fast_path counts
+    // lane-batched evaluations; fast_fallback counts candidates that
+    // requested fast mode but fell back to the scalar loop (non-flattened
+    // conditionals on the resample path). Both stay 0 in scalar mode, so a
+    // snapshot always records which mode it came from.
+    if (opts_.fast_inference) {
+      c_fast = hooks.metrics->counter("infer.fast_path");
+      c_fast_fallback = hooks.metrics->counter("infer.fast_fallback");
+    }
     h_pvalue = hooks.metrics->histogram(
         "infer.p_value", {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0});
   }
@@ -220,6 +232,7 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
       aud->counterfactual_delta =
           verdict.mean_counterfactual - verdict.mean_factual;
       aud->path_len = verdict.path_len;
+      aud->fast_path = verdict.fast_path;
     }
     if (cand_span.enabled()) {
       cand_span.arg("p_value", verdict.p_value);
@@ -227,6 +240,11 @@ DiagnosisResult MurphyDiagnoser::diagnose(const DiagnosisRequest& request) {
     }
     if (c_resamples != nullptr) c_resamples->add(verdict.node_resamples);
     if (c_kernel_cells != nullptr) c_kernel_cells->add(verdict.kernel_cells);
+    if (verdict.fast_path) {
+      if (c_fast != nullptr) c_fast->add(1);
+    } else if (c_fast_fallback != nullptr && verdict.path_len > 0) {
+      c_fast_fallback->add(1);
+    }
     if (h_pvalue != nullptr && verdict.path_len > 0)
       h_pvalue->observe(verdict.p_value);
     if (verdict.is_root_cause && c_accepted != nullptr) c_accepted->add(1);

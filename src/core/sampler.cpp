@@ -38,6 +38,110 @@ CounterfactualVerdict CounterfactualSampler::evaluate(
   return evaluate(a, a_var, d, d_var, state, symptom_high, rng_);
 }
 
+bool CounterfactualSampler::evaluate_fast(
+    std::span<const VarIndex> order, VarIndex a_var, VarIndex d_var,
+    std::span<const double> cent0, double cent_a_cf, Rng& rng,
+    std::vector<double>& d1, std::vector<double>& d2) const {
+  const SampleKernel& kernel = factors_.kernel();
+  for (const VarIndex v : order)
+    if (!kernel.vars[v].flat) return false;  // non-ridge family on the path
+
+  // --- SoA packing -----------------------------------------------------------
+  // Compact the written variable set (`order`) into slots [0, m). Features of
+  // a resampled conditional split three ways: slot features vary per lane
+  // (chain) and stay in the inner loop; the pinned candidate variable is
+  // constant per SIDE and folds into a per-side base; every other feature is
+  // frozen at its factual centered value and folds into the base outright.
+  // With the kernel's pre-divided weights the inner loop is then a pure
+  // FMA over contiguous lanes.
+  const std::size_t m = order.size();
+  thread_local std::vector<std::int32_t> slot_of;
+  slot_of.assign(cent0.size(), -1);
+  for (std::size_t j = 0; j < m; ++j)
+    slot_of[order[j]] = static_cast<std::int32_t>(j);
+  const std::int32_t d_slot = slot_of[d_var];
+  if (d_slot < 0) return false;  // defensive: d must be on the path
+
+  thread_local std::vector<std::uint32_t> vf_begin, vf_slot;
+  thread_local std::vector<double> vf_w, base_c, a_coef, sigma, init_cent;
+  vf_begin.resize(m + 1);
+  vf_slot.clear();
+  vf_w.clear();
+  base_c.resize(m);
+  a_coef.resize(m);
+  sigma.resize(m);
+  init_cent.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const VarIndex v = order[j];
+    const SampleKernel::VarEntry& e = kernel.vars[v];
+    vf_begin[j] = static_cast<std::uint32_t>(vf_slot.size());
+    double base = e.base;
+    double ac = 0.0;
+    for (std::uint32_t k = e.begin; k < e.begin + e.count; ++k) {
+      const std::uint32_t f = kernel.feat[k];
+      const double wd = kernel.wdiv[k];
+      if (f == a_var) {
+        ac += wd;
+      } else if (slot_of[f] >= 0) {
+        vf_slot.push_back(static_cast<std::uint32_t>(slot_of[f]));
+        vf_w.push_back(wd);
+      } else {
+        base += wd * cent0[f];
+      }
+    }
+    // Store the base already re-centered for variable v: the lane update is
+    // then cent[v] = base_c + sum(varying) + sigma * z in one pass.
+    base_c[j] = base - kernel.mean[v];
+    a_coef[j] = ac;
+    sigma[j] = e.sigma;
+    init_cent[j] = cent0[v];
+  }
+  vf_begin[m] = static_cast<std::uint32_t>(vf_slot.size());
+
+  // --- lane-batched chains ---------------------------------------------------
+  constexpr std::size_t kLanes = 64;
+  thread_local std::vector<double> centL, mu, z, side_base;
+  centL.resize(m * kLanes);
+  mu.resize(kLanes);
+  z.resize(kLanes);
+  side_base.resize(m);
+  const std::size_t rounds = opts_.gibbs_rounds;
+  const double mean_d = kernel.mean[d_var];
+
+  auto run_side = [&](double cent_a, std::vector<double>& out) {
+    for (std::size_t j = 0; j < m; ++j)
+      side_base[j] = base_c[j] + a_coef[j] * cent_a;
+    for (std::size_t s0 = 0; s0 < opts_.num_samples; s0 += kLanes) {
+      const std::size_t lanes = std::min(kLanes, opts_.num_samples - s0);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c0 = init_cent[j];
+        double* cj = centL.data() + j * kLanes;
+        for (std::size_t l = 0; l < lanes; ++l) cj[l] = c0;
+      }
+      for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t j = 0; j < m; ++j) {
+          rng.fill_normal(std::span<double>(z.data(), lanes));
+          const double b = side_base[j];
+          for (std::size_t l = 0; l < lanes; ++l) mu[l] = b;
+          for (std::uint32_t k = vf_begin[j]; k < vf_begin[j + 1]; ++k) {
+            const double w = vf_w[k];
+            const double* cf = centL.data() + vf_slot[k] * kLanes;
+            for (std::size_t l = 0; l < lanes; ++l) mu[l] += w * cf[l];
+          }
+          const double sg = sigma[j];
+          double* cj = centL.data() + j * kLanes;
+          for (std::size_t l = 0; l < lanes; ++l) cj[l] = mu[l] + sg * z[l];
+        }
+      }
+      const double* cd = centL.data() + static_cast<std::size_t>(d_slot) * kLanes;
+      for (std::size_t l = 0; l < lanes; ++l) out.push_back(cd[l] + mean_d);
+    }
+  };
+  run_side(cent_a_cf, d1);
+  run_side(cent0[a_var], d2);
+  return true;
+}
+
 CounterfactualVerdict CounterfactualSampler::evaluate(
     graph::NodeIndex a, VarIndex a_var, graph::NodeIndex d, VarIndex d_var,
     std::span<const double> state, bool symptom_high, Rng& rng) const {
@@ -101,6 +205,22 @@ CounterfactualVerdict CounterfactualSampler::evaluate(
   d2.clear();
   d1.reserve(opts_.num_samples);
   d2.reserve(opts_.num_samples);
+
+  // Opt-in vectorized path: lane-batch the independent chains over an SoA
+  // state. Statistically equivalent, not bitwise (see SamplerOptions); the
+  // work accounting above is shared, so both modes report identical
+  // node_resamples/kernel_cells for the same request. Falls back per
+  // candidate when the path touches a non-flattened conditional.
+  if (opts_.fast_inference &&
+      evaluate_fast(order, a_var, d_var, cent0, a_cf_c, rng, d1, d2)) {
+    verdict.fast_path = true;
+    const auto t = stats::welch_t_test(d1, d2);
+    verdict.p_value = symptom_high ? t.p_less : 1.0 - t.p_less;
+    verdict.is_root_cause = verdict.p_value < opts_.significance;
+    verdict.mean_counterfactual = stats::mean(d1);
+    verdict.mean_factual = stats::mean(d2);
+    return verdict;
+  }
 
   const std::size_t rounds = opts_.gibbs_rounds;
   auto run_side = [&](double a_start, double a_start_c,

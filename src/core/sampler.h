@@ -32,6 +32,17 @@ struct SamplerOptions {
   // absorb the counterfactual through collinear features.
   std::size_t path_slack = 2;
   std::uint64_t seed = 1;
+  // Opt-in vectorized inference (DESIGN.md §11). The num_samples independent
+  // chains of one candidate are batched into SIMD-width lanes over a
+  // structure-of-arrays state, consuming pre-filled Rng::fill_normal blocks
+  // and the kernel's pre-divided weights. The contract is STATISTICAL
+  // equivalence (same verdicts and rankings, score deltas indistinguishable
+  // under a Welch t-test), not bitwise identity: draw order, rounding and
+  // the normal generator all differ from the scalar golden path. Output is
+  // still deterministic for a fixed (seed, options) at any thread count.
+  // Candidates whose resample order touches a non-flattened conditional
+  // (non-ridge model families) fall back to the scalar path per candidate.
+  bool fast_inference = false;
 };
 
 struct CounterfactualVerdict {
@@ -45,7 +56,14 @@ struct CounterfactualVerdict {
   std::size_t node_resamples = 0;   // resample_node calls across both sides
   // Flattened-kernel multiply-add slots evaluated (w * c / s terms) across
   // both sides — the sampler's arithmetic volume, again deterministic.
+  // Lane-batched fast-inference work counts IDENTICALLY: both modes resample
+  // the same (sample, round, variable) grid, so the accounting is a function
+  // of the request, never of the execution mode (regression-tested).
   std::size_t kernel_cells = 0;
+  // True when the vectorized fast-inference kernel produced this verdict
+  // (false in scalar mode and for per-candidate fallbacks), so audits record
+  // which mode a verdict came from.
+  bool fast_path = false;
 };
 
 class CounterfactualSampler {
@@ -97,6 +115,17 @@ class CounterfactualSampler {
                                      std::size_t gibbs_rounds) const;
 
  private:
+  // Lane-batched Gibbs chains for one candidate (the fast path): packs the
+  // resample order into SoA buffers once, then runs all num_samples chains
+  // of the counterfactual side (pinned centered value `cent_a_cf`) into `d1`
+  // and of the factual side into `d2`. Returns false — before consuming any
+  // randomness — when some resampled conditional is not flattened, in which
+  // case the caller falls back to the scalar loop.
+  bool evaluate_fast(std::span<const VarIndex> order, VarIndex a_var,
+                     VarIndex d_var, std::span<const double> cent0,
+                     double cent_a_cf, Rng& rng, std::vector<double>& d1,
+                     std::vector<double>& d2) const;
+
   const graph::RelationshipGraph& graph_;
   const MetricSpace& space_;
   const FactorSet& factors_;

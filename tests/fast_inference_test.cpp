@@ -1,0 +1,320 @@
+// Tests for the opt-in vectorized inference mode (DESIGN.md §11) and its
+// batched normal generator.
+//
+// The contract under test has three parts:
+//  1. Rng::fill_normal is a correct N(0,1) sampler (moments, tails), is
+//     chunking-invariant, and its mix_seed-derived streams are independent.
+//  2. fast_inference=false stays the bitwise golden: the scalar path is
+//     untouched at any thread count, and running a fast diagnosis never
+//     perturbs a scalar one. The integer xoshiro stream is pinned to golden
+//     values so the scalar normal stream cannot silently drift either.
+//  3. fast_inference=true is statistically equivalent (same verdicts),
+//     deterministic at any thread count, reports the IDENTICAL work
+//     accounting (node_resamples / kernel_cells) as scalar mode, and falls
+//     back per candidate when conditionals are not flattened.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/factor_model.h"
+#include "src/core/metric_space.h"
+#include "src/core/murphy.h"
+#include "src/core/sampler.h"
+#include "src/obs/metrics.h"
+
+namespace murphy {
+namespace {
+
+using telemetry::ConfigEvent;
+using telemetry::ConfigEventKind;
+using telemetry::EntityType;
+using telemetry::MonitoringDb;
+using telemetry::RelationKind;
+
+// ---------- the batched generator ------------------------------------------
+
+TEST(FillNormal, GoldenU64StreamUnchanged) {
+  // The scalar golden contract rests on the raw xoshiro256** stream: pin it.
+  // (splitmix64-seeded, values independent of platform).
+  Rng rng(1);
+  const std::uint64_t expected[] = {
+      0xb3f2af6d0fc710c5ull, 0x853b559647364ceaull, 0x92f89756082a4514ull,
+      0x642e1c7bc266a3a7ull, 0xb27a48e29a233673ull, 0x24c123126ffda722ull,
+  };
+  for (const std::uint64_t want : expected) EXPECT_EQ(rng(), want);
+}
+
+TEST(FillNormal, MomentsMatchStandardNormal) {
+  constexpr std::size_t kN = 200000;
+  Rng rng(42);
+  std::vector<double> z(kN);
+  rng.fill_normal(z);
+
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t beyond196 = 0, beyond3 = 0;
+  for (const double v : z) {
+    sum += v;
+    sum2 += v * v;
+    if (std::abs(v) > 1.96) ++beyond196;
+    if (std::abs(v) > 3.0) ++beyond3;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+  // P(|Z| > 1.96) = 0.05, P(|Z| > 3) = 0.0027 — the ziggurat tail path.
+  EXPECT_NEAR(static_cast<double>(beyond196) / kN, 0.05, 0.005);
+  EXPECT_NEAR(static_cast<double>(beyond3) / kN, 0.0027, 0.0015);
+}
+
+TEST(FillNormal, ChunkingInvariant) {
+  // The fast kernel consumes lane-sized blocks whose width depends on how
+  // many chains remain; the stream must not depend on the chunking.
+  constexpr std::size_t kN = 1024;
+  Rng whole_rng(9);
+  std::vector<double> whole(kN);
+  whole_rng.fill_normal(whole);
+
+  Rng halves_rng(9);
+  std::vector<double> halves(kN);
+  halves_rng.fill_normal(std::span<double>(halves.data(), kN / 2));
+  halves_rng.fill_normal(std::span<double>(halves.data() + kN / 2, kN / 2));
+  EXPECT_EQ(whole, halves);
+
+  Rng singles_rng(9);
+  std::vector<double> singles(kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    singles_rng.fill_normal(std::span<double>(singles.data() + i, 1));
+  EXPECT_EQ(whole, singles);
+}
+
+TEST(FillNormal, DeterministicAndSeedSensitive) {
+  std::vector<double> a(256), b(256), c(256);
+  Rng ra(7), rb(7), rc(8);
+  ra.fill_normal(a);
+  rb.fill_normal(b);
+  rc.fill_normal(c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FillNormal, MixSeedStreamsIndependent) {
+  // Per-candidate streams are derived via mix_seed(seed, stream); adjacent
+  // streams must be uncorrelated or parallel candidates would covary.
+  constexpr std::size_t kN = 100000;
+  Rng r1(mix_seed(5, 1)), r2(mix_seed(5, 2));
+  std::vector<double> z1(kN), z2(kN);
+  r1.fill_normal(z1);
+  r2.fill_normal(z2);
+  double dot = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) dot += z1[i] * z2[i];
+  // Both sides ~N(0,1): corr ~= dot/N, stderr ~= 1/sqrt(N) ~= 0.003.
+  EXPECT_LT(std::abs(dot / kN), 0.02);
+}
+
+// ---------- end-to-end fixture ---------------------------------------------
+
+// Chain A -> B -> C -> D with a late surge at A propagating to the symptom
+// at D (same construction as concurrency_test.cpp, so results here are
+// comparable to the determinism suite's expectations).
+struct ChainEnv {
+  MonitoringDb db;
+  EntityId a, b, c, d;
+  MetricKindId load;
+};
+
+ChainEnv make_chain_env(std::size_t slices = 200) {
+  ChainEnv e;
+  e.a = e.db.add_entity(EntityType::kVm, "A");
+  e.b = e.db.add_entity(EntityType::kVm, "B");
+  e.c = e.db.add_entity(EntityType::kVm, "C");
+  e.d = e.db.add_entity(EntityType::kVm, "D");
+  e.db.add_association(e.a, e.b, RelationKind::kGeneric);
+  e.db.add_association(e.b, e.c, RelationKind::kGeneric);
+  e.db.add_association(e.c, e.d, RelationKind::kGeneric);
+  e.load = e.db.catalog().intern("cpu_util");
+  e.db.metrics().set_axis(TimeAxis(0.0, 10.0, slices));
+  Rng rng(11);
+  std::vector<double> va(slices), vb(slices), vc(slices), vd(slices);
+  for (std::size_t t = 0; t < slices; ++t) {
+    const double surge = t + 20 >= slices ? 14.0 : 0.0;
+    va[t] = 6.0 + 2.0 * std::sin(0.07 * t) + rng.normal(0.0, 0.3) + surge;
+    vb[t] = 1.6 * va[t] + rng.normal(0.0, 0.3);
+    vc[t] = 1.2 * vb[t] + rng.normal(0.0, 0.4);
+    vd[t] = 1.1 * vc[t] + rng.normal(0.0, 0.4);
+  }
+  e.db.metrics().put(e.a, e.load, va);
+  e.db.metrics().put(e.b, e.load, vb);
+  e.db.metrics().put(e.c, e.load, vc);
+  e.db.metrics().put(e.d, e.load, vd);
+  e.db.config_events().record(
+      ConfigEvent{ConfigEventKind::kResourcesResized, e.b, slices - 5,
+                  "vCPU 4 -> 8"});
+  return e;
+}
+
+core::DiagnosisResult diagnose_chain(const ChainEnv& env, bool fast,
+                                     std::size_t num_threads,
+                                     obs::MetricsRegistry* metrics = nullptr,
+                                     stats::ModelKind model =
+                                         stats::ModelKind::kRidge) {
+  core::MurphyOptions mopts;
+  mopts.sampler.num_samples = 120;
+  mopts.num_threads = num_threads;
+  mopts.fast_inference = fast;
+  mopts.training.model = model;
+  mopts.obs.metrics = metrics;
+  core::MurphyDiagnoser murphy(mopts);
+  core::DiagnosisRequest req;
+  req.db = &env.db;
+  req.symptom_entity = env.d;
+  req.symptom_metric = "cpu_util";
+  req.now = 199;
+  req.train_begin = 0;
+  req.train_end = 200;
+  return murphy.diagnose(req);
+}
+
+void expect_bitwise_equal(const core::DiagnosisResult& x,
+                          const core::DiagnosisResult& y) {
+  ASSERT_EQ(x.causes.size(), y.causes.size());
+  for (std::size_t i = 0; i < x.causes.size(); ++i) {
+    EXPECT_EQ(x.causes[i].entity, y.causes[i].entity) << "rank " << i;
+    EXPECT_EQ(x.causes[i].score, y.causes[i].score) << "rank " << i;
+  }
+  ASSERT_EQ(x.explanations.size(), y.explanations.size());
+  for (std::size_t i = 0; i < x.explanations.size(); ++i)
+    EXPECT_EQ(x.explanations[i], y.explanations[i]) << "rank " << i;
+}
+
+// ---------- scalar golden unperturbed --------------------------------------
+
+TEST(FastInference, ScalarGoldenUnchangedByFastRunsAndThreads) {
+  const auto env = make_chain_env();
+  const auto scalar1 = diagnose_chain(env, /*fast=*/false, 1);
+  ASSERT_FALSE(scalar1.causes.empty());
+
+  // A fast diagnosis in between must not perturb subsequent scalar runs
+  // (no shared mutable state, no global RNG).
+  const auto fast = diagnose_chain(env, /*fast=*/true, 1);
+  ASSERT_FALSE(fast.causes.empty());
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    expect_bitwise_equal(scalar1, diagnose_chain(env, /*fast=*/false,
+                                                 threads));
+  }
+}
+
+TEST(FastInference, FastModeDeterministicAcrossThreadCounts) {
+  const auto env = make_chain_env();
+  const auto serial = diagnose_chain(env, /*fast=*/true, 1);
+  ASSERT_FALSE(serial.causes.empty());
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    expect_bitwise_equal(serial, diagnose_chain(env, /*fast=*/true, threads));
+  }
+}
+
+TEST(FastInference, VerdictAgreesWithScalar) {
+  // Statistical-equivalence smoke: same ranked entities in the same order
+  // (scores may differ within noise; the bench gate t-tests those).
+  const auto env = make_chain_env();
+  const auto scalar = diagnose_chain(env, /*fast=*/false, 1);
+  const auto fast = diagnose_chain(env, /*fast=*/true, 1);
+  ASSERT_FALSE(scalar.causes.empty());
+  ASSERT_EQ(scalar.causes.size(), fast.causes.size());
+  for (std::size_t i = 0; i < scalar.causes.size(); ++i)
+    EXPECT_EQ(scalar.causes[i].entity, fast.causes[i].entity) << "rank " << i;
+}
+
+// ---------- work accounting ------------------------------------------------
+
+TEST(FastInference, WorkCountersIdenticalAcrossModes) {
+  // node_resamples / kernel_cells are a function of the request, never of
+  // the execution mode: the lane-batched kernel resamples the same
+  // (sample, round, variable) grid as the scalar loop.
+  const auto env = make_chain_env();
+  const std::vector<EntityId> seeds{env.d};
+  const auto g = graph::RelationshipGraph::build(env.db, seeds, 4);
+  const core::MetricSpace space(env.db, g);
+  const auto state = space.snapshot(env.db, 199);
+  const core::FactorSet factors(env.db, g, space, 0, 200,
+                                core::FactorTrainingOptions{});
+
+  const auto a_var = space.find(env.a, env.load);
+  const auto d_var = space.find(env.d, env.load);
+  ASSERT_TRUE(a_var.has_value());
+  ASSERT_TRUE(d_var.has_value());
+  const auto a_node = space.var(*a_var).node;
+  const auto d_node = space.var(*d_var).node;
+
+  core::SamplerOptions sopts;
+  sopts.num_samples = 120;
+  auto run = [&](bool fast) {
+    sopts.fast_inference = fast;
+    const core::CounterfactualSampler sampler(g, space, factors, sopts);
+    Rng rng(mix_seed(99, 1));
+    return sampler.evaluate(a_node, *a_var, d_node, *d_var, state,
+                            /*symptom_high=*/true, rng);
+  };
+  const auto scalar = run(false);
+  const auto fast = run(true);
+
+  EXPECT_FALSE(scalar.fast_path);
+  EXPECT_TRUE(fast.fast_path);  // the chain is all-ridge: no fallback
+  EXPECT_GT(scalar.node_resamples, 0u);
+  EXPECT_GT(scalar.kernel_cells, 0u);
+  EXPECT_EQ(scalar.path_len, fast.path_len);
+  EXPECT_EQ(scalar.node_resamples, fast.node_resamples);
+  EXPECT_EQ(scalar.kernel_cells, fast.kernel_cells);
+  // Both verdicts must agree on the clear-cut root cause.
+  EXPECT_EQ(scalar.is_root_cause, fast.is_root_cause);
+}
+
+TEST(FastInference, RegistryCountersIdenticalAcrossModes) {
+  const auto env = make_chain_env();
+  obs::MetricsRegistry scalar_reg, fast_reg;
+  (void)diagnose_chain(env, /*fast=*/false, 1, &scalar_reg);
+  (void)diagnose_chain(env, /*fast=*/true, 1, &fast_reg);
+
+  const auto scalar_resamples =
+      scalar_reg.counter("infer.gibbs_node_resamples")->value();
+  const auto fast_resamples =
+      fast_reg.counter("infer.gibbs_node_resamples")->value();
+  EXPECT_GT(scalar_resamples, 0u);
+  EXPECT_EQ(scalar_resamples, fast_resamples);
+  EXPECT_EQ(scalar_reg.counter("infer.kernel_cells")->value(),
+            fast_reg.counter("infer.kernel_cells")->value());
+  // Mode provenance: every evaluated candidate took the fast path (all
+  // conditionals are ridge here), and the scalar run never registers the
+  // fast counters in the first place.
+  EXPECT_GT(fast_reg.counter("infer.fast_path")->value(), 0u);
+  EXPECT_EQ(fast_reg.counter("infer.fast_fallback")->value(), 0u);
+}
+
+// ---------- fallback -------------------------------------------------------
+
+TEST(FastInference, FallsBackPerCandidateForNonFlatModels) {
+  // GMM conditionals cannot be flattened into the SoA kernel, so every
+  // candidate must take the scalar fallback — and still produce a result.
+  const auto env = make_chain_env();
+  obs::MetricsRegistry reg;
+  const auto result = diagnose_chain(env, /*fast=*/true, 1, &reg,
+                                     stats::ModelKind::kGmm);
+  EXPECT_FALSE(result.causes.empty());
+  EXPECT_EQ(reg.counter("infer.fast_path")->value(), 0u);
+  EXPECT_GT(reg.counter("infer.fast_fallback")->value(), 0u);
+
+  // The fallback must be the bitwise scalar path: a plain scalar GMM run
+  // matches exactly.
+  const auto scalar = diagnose_chain(env, /*fast=*/false, 1, nullptr,
+                                     stats::ModelKind::kGmm);
+  expect_bitwise_equal(scalar, result);
+}
+
+}  // namespace
+}  // namespace murphy
