@@ -1,21 +1,33 @@
-// murphyd — the diagnosis engine as a long-running service (DESIGN.md §9).
+// murphyd — the diagnosis engine as a long-running service (DESIGN.md §9),
+// on the wire (DESIGN.md §12).
 //
 // Demonstrates the src/service stack end to end: a TelemetryStream fed by a
 // replayed telemetry feed (CSV import or the built-in interference
 // scenario), a DiagnosisService answering requests concurrently with
 // ingestion, and snapshot save/restore for warm restarts. Commands arrive
-// as lines on stdin, one response line (OK .../ERR ...) per command:
+// as newline-framed lines — on stdin, and/or on a TCP / unix-domain socket
+// (--listen / --unix) served by an epoll event loop — one response line
+// (OK .../ERR ...) per command:
 //
 //   DIAGNOSE <entity> <metric> [max_hops] [deadline_ms]
 //   INGEST <entity> <metric> <slice> <value>
-//   REPLAY <n>            replay the next n feed slices into the stream
-//   EXTEND <n>            grow the time axis by n empty slices
+//   REPLAY [n]            replay the next n feed slices into the stream
+//   EXTEND [n]            grow the time axis by n empty slices
 //   SNAPSHOT <path>       save a consistent snapshot (diagnoses keep running)
 //   STATS                 one-line summary + the full metrics-registry JSON
 //   MARKERS               one-line JSON array of T2-style fleet markers
 //                         (snapshot-diff since the previous MARKERS/export)
 //   INCIDENTS             one-line JSON array of watchdog incidents
 //   QUIT
+//
+// Any command may carry a '#tag' prefix; its response is prefixed with the
+// same tag. Over a socket, DIAGNOSE is pipelined: responses are delivered
+// when the diagnosis completes, possibly out of order — tag your requests.
+// Over stdin the protocol stays strictly request/response (and bytewise
+// what it always was). Per-connection in-flight and buffer limits reject
+// excess load with explicit ERR lines (see net_server.h); QUIT over a
+// socket closes that connection, QUIT/EOF on stdin drains and stops the
+// daemon.
 //
 // With --watchdog the stream's commit observer feeds the always-on watchdog
 // (DESIGN.md §10): every replayed slice is scanned, sustained anomalies
@@ -29,24 +41,28 @@
 //   murphyd --snapshot FILE               # resume from a snapshot
 //   common: --split F (warm fraction, default 0.75) --workers N --queue N
 //           --replay-ms M (auto-replay one slice every M ms)
+//           --listen PORT (TCP on 127.0.0.1; 0 = ephemeral, port on stderr)
+//           --unix PATH (unix-domain listener)
+//           --net-inflight N --net-max-conns N (per-connection/server caps)
 //           --watchdog --marker-every N --audit-out FILE
 //           --fast-inference (vectorized counterfactual kernel, DESIGN.md §11)
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <thread>
-
-#include <fstream>
 
 #include "src/emulation/scenarios.h"
 #include "src/obs/markers.h"
 #include "src/obs/metrics.h"
 #include "src/service/diagnosis_service.h"
 #include "src/service/feed.h"
+#include "src/service/net_server.h"
+#include "src/service/protocol.h"
 #include "src/service/telemetry_stream.h"
 #include "src/telemetry/csv_import.h"
 #include "src/telemetry/snapshot.h"
@@ -64,11 +80,40 @@ struct Args {
   std::size_t workers = 2;
   std::size_t queue = 64;
   long replay_ms = 0;  // 0 = manual REPLAY only
+  int listen_port = -1;        // -1 = no TCP listener
+  std::string unix_path;       // empty = no unix listener
+  std::size_t net_inflight = 32;
+  std::size_t net_max_conns = 64;
   bool watchdog = false;
   bool fast_inference = false;
   std::size_t marker_every = 0;  // 0 = MARKERS verb only
   std::string audit_out;         // incident-linked diagnosis audits (JSONL)
 };
+
+[[noreturn]] void usage_error(const std::string& flag, const std::string& why) {
+  std::fprintf(stderr, "murphyd: bad value for %s: %s\n", flag.c_str(),
+               why.c_str());
+  std::exit(2);
+}
+
+// Strict CLI numerics via the protocol's parsers: std::stod/std::stoul
+// would throw uncaught on garbage (and stoul happily wraps negatives).
+double double_arg(const std::string& flag, const std::string& value) {
+  const auto v = service::parse_double(value);
+  if (!v.has_value()) usage_error(flag, "'" + value + "' is not a number");
+  return *v;
+}
+
+std::size_t count_arg(const std::string& flag, const std::string& value) {
+  const auto v = service::parse_count(value);
+  if (!v.has_value())
+    usage_error(flag, "'" + value + "' is not a non-negative integer");
+  return static_cast<std::size_t>(*v);
+}
+
+std::atomic<bool> g_signalled{false};
+
+void on_signal(int) { g_signalled.store(true); }
 
 Args parse_args(int argc, char** argv) {
   Args a;
@@ -84,23 +129,40 @@ Args parse_args(int argc, char** argv) {
     if (flag == "--csv") {
       a.csv_prefix = next();
     } else if (flag == "--interval") {
-      a.interval = std::stod(next());
+      a.interval = double_arg(flag, next());
+      if (a.interval <= 0.0) usage_error(flag, "must be > 0");
     } else if (flag == "--snapshot") {
       a.snapshot = next();
     } else if (flag == "--split") {
-      a.split = std::stod(next());
+      // An out-of-range fraction would cast to a bogus TimeIndex split
+      // (e.g. 1.5 * slices overflows past the axis); reject it here.
+      a.split = double_arg(flag, next());
+      if (a.split < 0.0 || a.split > 1.0)
+        usage_error(flag, "warm fraction must be within [0,1]");
     } else if (flag == "--workers") {
-      a.workers = static_cast<std::size_t>(std::stoul(next()));
+      a.workers = count_arg(flag, next());
     } else if (flag == "--queue") {
-      a.queue = static_cast<std::size_t>(std::stoul(next()));
+      a.queue = count_arg(flag, next());
     } else if (flag == "--replay-ms") {
-      a.replay_ms = std::stol(next());
+      a.replay_ms = static_cast<long>(count_arg(flag, next()));
+    } else if (flag == "--listen") {
+      const std::size_t port = count_arg(flag, next());
+      if (port > 65535) usage_error(flag, "port must be within [0,65535]");
+      a.listen_port = static_cast<int>(port);
+    } else if (flag == "--unix") {
+      a.unix_path = next();
+    } else if (flag == "--net-inflight") {
+      a.net_inflight = count_arg(flag, next());
+      if (a.net_inflight == 0) usage_error(flag, "must be >= 1");
+    } else if (flag == "--net-max-conns") {
+      a.net_max_conns = count_arg(flag, next());
+      if (a.net_max_conns == 0) usage_error(flag, "must be >= 1");
     } else if (flag == "--watchdog") {
       a.watchdog = true;
     } else if (flag == "--fast-inference") {
       a.fast_inference = true;
     } else if (flag == "--marker-every") {
-      a.marker_every = static_cast<std::size_t>(std::stoul(next()));
+      a.marker_every = count_arg(flag, next());
     } else if (flag == "--audit-out") {
       a.audit_out = next();
     } else {
@@ -179,10 +241,11 @@ int main(int argc, char** argv) {
   std::atomic<std::size_t> replayed{0};
   std::atomic<bool> quitting{false};
 
-  // One mutex serializes replay (REPLAY verb vs the auto-replay thread);
-  // the stream itself is what makes replay safe against diagnoses. The
-  // watchdog scan rides here too — one scan per replayed slice, which is
-  // the scan schedule the determinism contract is stated against.
+  // One mutex serializes replay (REPLAY verbs — from stdin AND sockets —
+  // vs the auto-replay thread); the stream itself is what makes replay safe
+  // against diagnoses. The watchdog scan rides here too — one scan per
+  // replayed slice, which is the scan schedule the determinism contract is
+  // stated against.
   std::mutex replay_mu;
   auto replay_n = [&](std::size_t n) {
     std::lock_guard<std::mutex> lock(replay_mu);
@@ -212,155 +275,86 @@ int main(int argc, char** argv) {
     });
   }
 
+  // --- shared verb dispatch + socket front end ------------------------------
+  service::ProtocolHooks hooks;
+  hooks.replay_n = replay_n;
+  hooks.replayed = [&] { return replayed.load(); };
+  hooks.export_markers = export_markers;
+  hooks.incidents_json = [&] {
+    // Serialized against scan() (the replay mutex) — incidents_ is
+    // scanner-side state.
+    std::lock_guard<std::mutex> lock(replay_mu);
+    return watchdog::to_json(wd.incidents());
+  };
+  hooks.metrics = &obs::global_metrics();
+  service::Protocol proto(stream, svc, std::move(hooks));
+
+  service::NetServer net(proto, [&] {
+    service::NetServerOptions nopts;
+    nopts.tcp_port = args.listen_port;
+    nopts.unix_path = args.unix_path;
+    nopts.max_inflight_per_conn = args.net_inflight;
+    nopts.max_connections = args.net_max_conns;
+    return nopts;
+  }());
+  const bool net_enabled = args.listen_port >= 0 || !args.unix_path.empty();
+  if (net_enabled) {
+    std::string err;
+    if (!net.start(&err)) {
+      std::fprintf(stderr, "murphyd: socket front end failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    if (args.listen_port >= 0)
+      std::fprintf(stderr, "murphyd: listening on 127.0.0.1:%d\n",
+                   net.tcp_port());
+    if (!args.unix_path.empty())
+      std::fprintf(stderr, "murphyd: listening on unix:%s\n",
+                   args.unix_path.c_str());
+  }
+
   std::fprintf(stderr,
                "murphyd: %zu entities, %zu warm slices, %zu feed slices, %zu "
                "workers\n",
                stream.read()->entity_count(), split, feed.batches.size(),
                args.workers);
 
-  // --- command loop ---------------------------------------------------------
+  // --- stdin command loop ---------------------------------------------------
+  // Blocking dispatch: responses come back in command order, byte-identical
+  // to the pre-socket protocol. Sockets get the pipelined path.
   std::string line;
+  bool stdin_quit = false;
   while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string verb;
-    in >> verb;
-    if (verb.empty()) continue;
-
-    if (verb == "QUIT") {
-      std::printf("OK bye\n");
-      break;
-    } else if (verb == "STATS") {
-      const obs::MetricsRegistry& m = obs::global_metrics();
-      const obs::Histogram* h = m.find_histogram("service.total_ms");
-      const auto cnt = [&](const char* name) {
-        const obs::Counter* c = m.find_counter(name);
-        return c == nullptr ? 0ULL : c->value();
-      };
-      // Summary fields first, then the FULL registry snapshot: every
-      // instrument any subsystem ever registered, not the handful this
-      // printf knew about (scripts/metrics_diff.py consumes the JSON).
-      std::printf(
-          "OK slices=%zu version=%llu queue=%zu replayed=%zu completed=%llu "
-          "rejected=%llu deadline_exceeded=%llu p50_ms=%.1f p99_ms=%.1f "
-          "metrics=%s\n",
-          stream.slice_count(),
-          static_cast<unsigned long long>(stream.data_version()),
-          svc.queue_depth(), replayed.load(),
-          static_cast<unsigned long long>(cnt("service.completed")),
-          static_cast<unsigned long long>(cnt("service.rejected")),
-          static_cast<unsigned long long>(cnt("service.deadline_exceeded")),
-          h == nullptr ? 0.0 : h->quantile(0.5),
-          h == nullptr ? 0.0 : h->quantile(0.99), m.to_json().c_str());
-    } else if (verb == "MARKERS") {
-      std::string out = "[";
-      bool first = true;
-      for (const obs::Marker& mk : export_markers(0.0)) {
-        if (!first) out += ",";
-        first = false;
-        out += "{\"name\":\"" + mk.name +
-               "\",\"payload\":" + obs::marker_payload_json(mk) + "}";
-      }
-      out += "]";
-      std::printf("OK %s\n", out.c_str());
-    } else if (verb == "INCIDENTS") {
-      // Serialized against scan() (the replay mutex) — incidents_ is
-      // scanner-side state.
-      std::lock_guard<std::mutex> lock(replay_mu);
-      std::printf("OK %s\n", watchdog::to_json(wd.incidents()).c_str());
-    } else if (verb == "REPLAY") {
-      std::size_t n = 1;
-      in >> n;
-      const std::size_t cells = replay_n(n);
-      std::printf("OK replayed_to=%zu cells=%zu\n", replayed.load(), cells);
-    } else if (verb == "EXTEND") {
-      std::size_t n = 1;
-      in >> n;
-      stream.extend_axis(n);
-      std::printf("OK slices=%zu\n", stream.slice_count());
-    } else if (verb == "INGEST") {
-      std::string entity, metric;
-      TimeIndex t = 0;
-      double value = 0.0;
-      if (!(in >> entity >> metric >> t >> value)) {
-        std::printf("ERR usage: INGEST <entity> <metric> <slice> <value>\n");
-        continue;
-      }
-      const EntityId id = stream.read()->find_entity(entity);
-      if (!id.valid()) {
-        std::printf("ERR unknown entity %s\n", entity.c_str());
-        continue;
-      }
-      std::printf(stream.append_cell(id, metric, t, value)
-                      ? "OK\n"
-                      : "ERR cell dropped (slice out of axis?)\n");
-    } else if (verb == "SNAPSHOT") {
-      std::string path;
-      if (!(in >> path)) {
-        std::printf("ERR usage: SNAPSHOT <path>\n");
-        continue;
-      }
-      std::printf(stream.save_snapshot(path) ? "OK %s\n" : "ERR write %s\n",
-                  path.c_str());
-    } else if (verb == "DIAGNOSE") {
-      std::string entity, metric;
-      if (!(in >> entity >> metric)) {
-        std::printf(
-            "ERR usage: DIAGNOSE <entity> <metric> [hops] [deadline_ms]\n");
-        continue;
-      }
-      service::ServiceRequest req;
-      req.max_hops = 4;
-      long deadline_ms = 0;
-      in >> req.max_hops >> deadline_ms;
-      {
-        const auto db = stream.read();
-        req.symptom_entity = db->find_entity(entity);
-        const std::size_t slices = db->metrics().axis().size();
-        if (slices == 0) {
-          std::printf("ERR empty axis\n");
-          continue;
-        }
-        req.now = slices - 1;
-        req.train_begin = 0;
-        req.train_end = slices;  // online training includes `now`
-      }
-      if (!req.symptom_entity.valid()) {
-        std::printf("ERR unknown entity %s\n", entity.c_str());
-        continue;
-      }
-      req.symptom_metric = metric;
-      if (deadline_ms > 0)
-        req.deadline = std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(deadline_ms);
-      auto fut = svc.submit(std::move(req));
-      const service::ServiceResponse resp = fut.get();
-      if (resp.status != service::RequestStatus::kOk) {
-        std::printf("ERR %s (queue %.1fms run %.1fms)\n",
-                    std::string(to_string(resp.status)).c_str(), resp.queue_ms,
-                    resp.run_ms);
-        continue;
-      }
-      std::ostringstream out;
-      out << "OK id=" << resp.request_id << " version=" << resp.db_version
-          << " run_ms=" << resp.run_ms;
-      const auto db = stream.read();
-      const std::size_t top =
-          std::min<std::size_t>(resp.result.causes.size(), 5);
-      for (std::size_t i = 0; i < top; ++i) {
-        const auto& c = resp.result.causes[i];
-        out << " " << (i + 1) << ":"
-            << (db->has_entity(c.entity) ? db->entity(c.entity).name
-                                         : "<gone>");
-      }
-      std::printf("%s\n", out.str().c_str());
-    } else {
-      std::printf("ERR unknown verb %s\n", verb.c_str());
-    }
+    std::string out;
+    const auto kind = proto.dispatch(
+        line, [&](std::string s) { out = std::move(s); },
+        /*deliver_async=*/false);
+    if (kind == service::Protocol::DispatchKind::kNone) continue;
+    std::printf("%s\n", out.c_str());
     std::fflush(stdout);
+    if (kind == service::Protocol::DispatchKind::kQuit) {
+      stdin_quit = true;
+      break;
+    }
+  }
+
+  // A socket-only deployment closes stdin at launch; keep serving until a
+  // signal asks for the drain (stdin QUIT still stops the daemon directly).
+  if (net_enabled && !stdin_quit) {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::fprintf(stderr,
+                 "murphyd: stdin closed; serving sockets until "
+                 "SIGINT/SIGTERM\n");
+    while (!g_signalled.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
   quitting.store(true);
   if (auto_replay.joinable()) auto_replay.join();
+  // Graceful drain: stop accepting socket traffic, settle every in-flight
+  // diagnosis, flush and close — before the watchdog and service wind down.
+  net.shutdown();
   if (args.watchdog) {
     // Settle the lifecycle (every incident diagnosed or resolved) before
     // the service stops accepting the watchdog's re-enqueues.

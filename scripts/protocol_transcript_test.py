@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""End-to-end murphyd protocol transcripts over stdio and a unix socket.
+
+Drives the real daemon binary (argv[1]) through scripted transcripts and
+checks every response line against an expectation, covering the protocol
+contract that tests/protocol_test.cpp pins at the library level:
+
+  * stdio: clean-transcript responses for every verb, the REPLAY/EXTEND
+    strict-count fixes, and the DIAGNOSE max_hops-default regression
+    (hop-less == explicit 4, != explicit 0);
+  * unix socket: tagged pipelined commands, an out-of-order completion,
+    QUIT closing the connection;
+  * CLI hardening: malformed --split/--workers/--listen values exit 2.
+
+Usage: protocol_transcript_test.py path/to/murphyd
+Exit code 0 = all checks passed, 1 = a transcript diverged.
+"""
+
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import os
+import time
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {name}" + (f": {detail}" if detail and not cond else ""))
+    if not cond:
+        FAILURES.append(name)
+
+
+def run_stdio(binary, commands, extra_args=()):
+    """Feeds commands over stdin, returns the stdout response lines."""
+    proc = subprocess.run(
+        [binary, "--workers", "1", *extra_args],
+        input="".join(c + "\n" for c in commands),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    check("stdio exit code", proc.returncode == 0,
+          f"rc={proc.returncode} stderr={proc.stderr[-400:]}")
+    return proc.stdout.splitlines()
+
+
+def cause_suffix(resp):
+    """The ranked-cause tail of a DIAGNOSE response (after run_ms noise)."""
+    m = re.search(r"( 1:.*)$", resp)
+    return m.group(1) if m else ""
+
+
+def stdio_transcript(binary):
+    commands = [
+        "STATS",
+        "REPLAY",            # strict-count fix: defaults to 1, not 0
+        "REPLAY 2",
+        "REPLAY xyz",        # rejected, not silently 0
+        "EXTEND bogus",
+        "EXTEND 9999999999",
+        "DIAGNOSE",
+        "DIAGNOSE nosuch cpu_util",
+        "DIAGNOSE client-B latency_ms junk",
+        "#t7 EXTEND",        # tag prefixes the response
+        "QUIT",
+    ]
+    expect = [
+        r"^OK slices=\d+ version=\d+ queue=0 replayed=0 .*metrics=\{",
+        r"^OK replayed_to=1 cells=\d+$",
+        r"^OK replayed_to=3 cells=\d+$",
+        r"^ERR bad count 'xyz' \(usage: REPLAY \[n\]\)$",
+        r"^ERR bad count 'bogus' \(usage: EXTEND \[n\]\)$",
+        r"^ERR count too large \(max 1048576\)$",
+        r"^ERR usage: DIAGNOSE <entity> <metric> \[hops\] \[deadline_ms\]$",
+        r"^ERR unknown entity nosuch$",
+        r"^ERR bad max_hops 'junk' \(usage: DIAGNOSE",
+        r"^#t7 OK slices=\d+$",
+        r"^OK bye$",
+    ]
+    lines = run_stdio(binary, commands)
+    check("stdio response count", len(lines) == len(expect),
+          f"got {len(lines)} lines, want {len(expect)}: {lines}")
+    for cmd, pat, line in zip(commands, expect, lines):
+        check(f"stdio {cmd!r}", re.match(pat, line) is not None,
+              f"{line!r} !~ {pat!r}")
+
+
+def stdio_max_hops_regression(binary):
+    # The headline bugfix, end to end: a hop-less DIAGNOSE must search with
+    # the documented default of 4 hops (pre-PR the failed extraction wrote
+    # 0, so it could never leave the symptom entity).
+    lines = run_stdio(binary, [
+        "REPLAY 40",
+        "DIAGNOSE client-B latency_ms",
+        "DIAGNOSE client-B latency_ms 4",
+        "DIAGNOSE client-B latency_ms 0",
+        "QUIT",
+    ])
+    check("max_hops transcript shape", len(lines) == 5, repr(lines))
+    bare, four, zero = (cause_suffix(l) for l in lines[1:4])
+    check("hop-less DIAGNOSE returns causes", bare != "", repr(lines[1]))
+    check("hop-less == explicit 4 hops", bare == four,
+          f"{bare!r} != {four!r}")
+    check("hop-less != explicit 0 hops", bare != zero,
+          f"both {bare!r} — default still clobbered to 0?")
+
+
+def read_line(sock_file):
+    line = sock_file.readline()
+    return line.decode().rstrip("\n") if line else "<eof>"
+
+
+def socket_transcript(binary):
+    path = os.path.join(tempfile.mkdtemp(prefix="murphyd_pt_"), "d.sock")
+    proc = subprocess.Popen(
+        [binary, "--workers", "1", "--unix", path],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        # stdin stays open (daemon also serves stdio); wait for the socket.
+        deadline = time.time() + 30
+        while not os.path.exists(path) and time.time() < deadline:
+            time.sleep(0.05)
+        check("unix socket appears", os.path.exists(path))
+
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.settimeout(60)
+            s.connect(path)
+            f = s.makefile("rb")
+            # Pipelined single write: tags correlate the responses.
+            s.sendall(b"#a REPLAY 1\n#b DIAGNOSE client-B latency_ms\n"
+                      b"#c EXTEND\nFOO\n")
+            line_a = read_line(f)
+            check("sock #a",
+                  re.match(r"^#a OK replayed_to=1 cells=\d+$", line_a)
+                  is not None, repr(line_a))
+            got = [read_line(f) for _ in range(3)]
+            # #c (immediate) legitimately overtakes #b (worker-scheduled):
+            # accept any order but require exactly these three responses.
+            check("sock #b completes",
+                  any(re.match(r"^#b OK id=\d+ version=\d+ run_ms=", g)
+                      for g in got), repr(got))
+            check("sock #c", any(re.match(r"^#c OK slices=\d+$", g)
+                                 for g in got), repr(got))
+            check("sock FOO", "ERR unknown verb FOO" in got, repr(got))
+            s.sendall(b"QUIT\n")
+            check("sock QUIT", read_line(f) == "OK bye")
+            check("sock closed after QUIT", read_line(f) == "<eof>")
+    finally:
+        proc.stdin.close()  # EOF on stdin
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+def cli_hardening(binary):
+    # stod/stoul used to throw uncaught (terminate, rc 134); out-of-range
+    # --split used to truncate the replay split silently. All exit 2 now.
+    bad = [
+        ["--split", "1.5"],
+        ["--split", "abc"],
+        ["--split", "-0.1"],
+        ["--workers", "-1"],
+        ["--workers", "two"],
+        ["--listen", "99999"],
+        ["--interval", "0"],
+        ["--net-inflight", "0"],
+        ["--frobnicate"],
+    ]
+    for args in bad:
+        proc = subprocess.run(
+            [binary, *args], input="", capture_output=True, text=True,
+            timeout=60)
+        check(f"cli {' '.join(args)} exits 2", proc.returncode == 2,
+              f"rc={proc.returncode} stderr={proc.stderr[-200:]}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: protocol_transcript_test.py path/to/murphyd")
+        return 2
+    binary = sys.argv[1]
+    stdio_transcript(binary)
+    stdio_max_hops_regression(binary)
+    socket_transcript(binary)
+    cli_hardening(binary)
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed: {FAILURES}")
+        return 1
+    print("\nall protocol transcript checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,35 +65,42 @@ std::future<ServiceResponse> DiagnosisService::submit(ServiceRequest req) {
   auto promise = std::make_shared<std::promise<ServiceResponse>>();
   std::future<ServiceResponse> fut = promise->get_future();
   obs::MetricsRegistry* m = opts_.murphy.obs.metrics;
+  RequestStatus rejection = RequestStatus::kOk;
+  std::uint64_t rejected_id = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     const std::uint64_t id = ++next_id_;
     if (stopping_) {
-      ServiceResponse resp;
-      resp.request_id = id;
-      resp.status = RequestStatus::kShuttingDown;
-      promise->set_value(std::move(resp));
-      if (m != nullptr) m->counter("service.rejected")->add(1);
-      return fut;
-    }
-    if (queue_.size() >= opts_.max_queue) {
+      rejection = RequestStatus::kShuttingDown;
+      rejected_id = id;
+    } else if (queue_.size() >= opts_.max_queue) {
       // Admission control: explicit rejection, never a silent drop. The
       // caller sees kRejectedQueueFull synchronously and can retry or shed.
-      ServiceResponse resp;
-      resp.request_id = id;
-      resp.status = RequestStatus::kRejectedQueueFull;
-      promise->set_value(std::move(resp));
-      if (m != nullptr) m->counter("service.rejected")->add(1);
-      return fut;
+      rejection = RequestStatus::kRejectedQueueFull;
+      rejected_id = id;
+    } else {
+      Pending p;
+      p.req = std::move(req);
+      p.id = id;
+      p.admitted = std::chrono::steady_clock::now();
+      p.promise = promise;
+      queue_.push(std::move(p));
+      if (m != nullptr)
+        m->gauge("service.queue_depth")
+            ->set(static_cast<double>(queue_.size()));
     }
-    Pending p;
-    p.req = std::move(req);
-    p.id = id;
-    p.admitted = std::chrono::steady_clock::now();
-    p.promise = promise;
-    queue_.push(std::move(p));
-    if (m != nullptr)
-      m->gauge("service.queue_depth")->set(static_cast<double>(queue_.size()));
+  }
+  if (rejection != RequestStatus::kOk) {
+    // Fulfilled outside queue_mu_ so the on_complete hook (which may take
+    // other locks, e.g. the socket server's completion queue) can never
+    // deadlock against a concurrent submit.
+    ServiceResponse resp;
+    resp.request_id = rejected_id;
+    resp.status = rejection;
+    if (m != nullptr) m->counter("service.rejected")->add(1);
+    if (req.on_complete) req.on_complete(resp);
+    promise->set_value(std::move(resp));
+    return fut;
   }
   // One pool task per admitted request; the task pops the HIGHEST-priority
   // pending request at execution time, which may not be the one submitted
@@ -138,6 +145,7 @@ void DiagnosisService::run_one() {
     m->histogram("service.total_ms", latency_bounds())
         ->observe(resp.queue_ms + resp.run_ms);
   }
+  if (p.req.on_complete) p.req.on_complete(resp);
   p.promise->set_value(std::move(resp));
 }
 

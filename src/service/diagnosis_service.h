@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,8 @@ enum class RequestStatus : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(RequestStatus s);
 
+struct ServiceResponse;
+
 struct ServiceRequest {
   EntityId symptom_entity;
   std::string symptom_metric;
@@ -81,6 +84,15 @@ struct ServiceRequest {
   // diagnosis phase boundary.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  // Optional completion hook, invoked with the final response immediately
+  // before the future resolves — on the worker thread that finished the
+  // request, or on the submitting thread for synchronous rejections
+  // (kRejectedQueueFull / kShuttingDown). Runs with no service lock held;
+  // it may take the stream's shared lock but must not wait on this
+  // request's future and must not throw. The socket front end uses this to
+  // deliver pipelined completions out of order; future-only callers leave
+  // it empty.
+  std::function<void(const ServiceResponse&)> on_complete;
 };
 
 struct ServiceResponse {

@@ -1,0 +1,532 @@
+#include "src/service/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace murphy::service {
+
+namespace {
+
+// epoll_event.data.u64 identities; connections count up from kFirstConnId.
+constexpr std::uint64_t kTcpId = 1;
+constexpr std::uint64_t kUnixId = 2;
+constexpr std::uint64_t kWakeId = 3;
+constexpr std::uint64_t kFirstConnId = 16;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// The '#tag' prefix is the protocol's business (protocol.h), but the
+// connection-level rejection below bypasses dispatch, so it peels the tag
+// itself to keep rejected lines correlatable.
+[[nodiscard]] std::string_view peel_tag(std::string_view line) {
+  const std::size_t start = line.find_first_not_of(" \t");
+  if (start == std::string_view::npos || line[start] != '#') return {};
+  const std::size_t end = line.find_first_of(" \t", start);
+  const std::string_view tag = line.substr(
+      start, (end == std::string_view::npos ? line.size() : end) - start);
+  return tag.size() > 1 ? tag : std::string_view{};
+}
+
+}  // namespace
+
+// Thread-safe handoff from completing workers (and immediate dispatches) to
+// the loop thread. Held by shared_ptr from every in-flight sink closure, so
+// a completion landing after a force-closed drain writes into refcounted
+// memory, never into a dead server; the eventfd is retired under the same
+// mutex the writers take.
+struct NetServer::CompletionQueue {
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  int wake_fd = -1;  // guarded by mu; -1 once retired
+
+  void push(std::uint64_t conn_id, std::string line) {
+    std::lock_guard<std::mutex> lock(mu);
+    items.emplace_back(conn_id, std::move(line));
+    wake_locked();
+  }
+  void wake() {
+    std::lock_guard<std::mutex> lock(mu);
+    wake_locked();
+  }
+  void wake_locked() {
+    if (wake_fd < 0) return;
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof one);
+  }
+  // Returns the fd for the (single) owner to close; pushes after this are
+  // queue-only.
+  int retire_fd() {
+    std::lock_guard<std::mutex> lock(mu);
+    return std::exchange(wake_fd, -1);
+  }
+};
+
+struct NetServer::Conn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  // Commands dispatched whose response has not reached the outbuf yet —
+  // the in-flight window the per-connection limit bounds.
+  std::size_t pending = 0;
+  bool quitting = false;    // QUIT / EOF / framing error: no further reads
+  bool in_process = false;  // re-entrancy guard for process_lines
+};
+
+class NetServer::Loop {
+ public:
+  explicit Loop(NetServer& s) : s_(s) {}
+
+  void run() {
+    epoll_event evs[64];
+    for (;;) {
+      if (s_.draining_.load(std::memory_order_acquire) && !drain_started_)
+        begin_drain();
+      if (drain_started_) {
+        if (conns_.empty()) break;
+        if (std::chrono::steady_clock::now() >= drain_deadline_) {
+          force_close_all();
+          break;
+        }
+      }
+      const int timeout_ms = drain_started_ ? 50 : -1;
+      const int n = ::epoll_wait(s_.epoll_fd_, evs, 64, timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll itself failed; nothing sane left to do
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = evs[i].data.u64;
+        if (id == kWakeId) {
+          std::uint64_t drainv = 0;
+          while (::read(wake_fd_, &drainv, sizeof drainv) > 0) {
+          }
+        } else if (id == kTcpId) {
+          accept_all(s_.tcp_listen_fd_);
+        } else if (id == kUnixId) {
+          accept_all(s_.unix_listen_fd_);
+        } else {
+          handle_conn_event(id, evs[i].events);
+        }
+      }
+      deliver_completions();
+    }
+  }
+
+  int wake_fd_ = -1;
+
+ private:
+  void begin_drain() {
+    drain_started_ = true;
+    drain_deadline_ = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(s_.opts_.drain_timeout_ms);
+    close_listener(s_.tcp_listen_fd_);
+    close_listener(s_.unix_listen_fd_);
+    // Stop reading everywhere; anything a client pipelined but we have not
+    // framed yet is dropped ("stop accepting"). Already-dispatched work
+    // settles through the completion queue as usual.
+    std::vector<std::uint64_t> settled;
+    for (auto& [id, c] : conns_) {
+      c.quitting = true;
+      c.inbuf.clear();
+      if (c.pending == 0 && c.outbuf.empty()) settled.push_back(id);
+      else update_interest(id, c);
+    }
+    for (const std::uint64_t id : settled) close_conn(id);
+  }
+
+  void close_listener(int& fd) {
+    if (fd < 0) return;
+    ::epoll_ctl(s_.epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    fd = -1;
+  }
+
+  void force_close_all() {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, c] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) close_conn(id);
+  }
+
+  void accept_all(int listen_fd) {
+    if (listen_fd < 0) return;
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN (or a transient error — retry on next event)
+      if (conns_.size() >= s_.opts_.max_connections) {
+        static constexpr char kFull[] = "ERR server full\n";
+        (void)::send(fd, kFull, sizeof kFull - 1, MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      const std::uint64_t id = next_id_++;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      if (::epoll_ctl(s_.epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      Conn c;
+      c.fd = fd;
+      conns_.emplace(id, std::move(c));
+      s_.accepted_.fetch_add(1);
+      s_.active_.store(conns_.size());
+    }
+  }
+
+  void handle_conn_event(std::uint64_t id, std::uint32_t events) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // closed earlier this batch
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0 && it->second.outbuf.empty()) {
+      close_conn(id);
+      return;
+    }
+    if ((events & EPOLLIN) != 0) {
+      if (!handle_readable(id)) return;
+    }
+    it = conns_.find(id);
+    if (it != conns_.end() && (events & EPOLLOUT) != 0) try_flush(id);
+  }
+
+  // Reads until EAGAIN/EOF, frames and dispatches complete lines. Returns
+  // false when the connection was closed.
+  bool handle_readable(std::uint64_t id) {
+    Conn& c = conns_.find(id)->second;
+    if (c.quitting) return true;
+    char buf[16384];
+    bool eof = false;
+    for (;;) {
+      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      if (r > 0) {
+        c.inbuf.append(buf, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(id);
+      return false;
+    }
+    if (!process_lines(id)) return false;
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return false;
+    Conn& c2 = it->second;
+    // An unterminated line past the cap is a framing loss: answer and close.
+    if (!c2.quitting && c2.inbuf.size() > s_.opts_.max_line_bytes) {
+      char msg[96];
+      std::snprintf(msg, sizeof msg, "ERR line too long (limit %zu bytes)",
+                    s_.opts_.max_line_bytes);
+      c2.inbuf.clear();
+      c2.quitting = true;
+      append_out(id, msg);
+      it = conns_.find(id);
+      if (it == conns_.end()) return false;
+    }
+    if (eof) {
+      // Half-close: the client is done sending but still reads; settle
+      // outstanding responses, then close from our side.
+      Conn& c3 = it->second;
+      c3.quitting = true;
+      if (c3.pending == 0 && c3.outbuf.empty()) {
+        close_conn(id);
+        return false;
+      }
+      update_interest(id, c3);
+    }
+    return conns_.count(id) != 0;
+  }
+
+  // Frames and handles every complete line in the inbuf, retiring each
+  // line's immediate completions before the next line's in-flight check (so
+  // synchronous verbs never eat into the DIAGNOSE window). Stops early when
+  // the outbuf crosses the backpressure cap. Returns false when the
+  // connection was closed.
+  bool process_lines(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end() || it->second.in_process) return it != conns_.end();
+    it->second.in_process = true;
+    for (;;) {
+      it = conns_.find(id);
+      if (it == conns_.end()) return false;
+      Conn& c = it->second;
+      if (c.quitting || c.outbuf.size() > s_.opts_.max_outbuf_bytes) break;
+      const std::size_t nl = c.inbuf.find('\n');
+      if (nl == std::string::npos) break;
+      std::string line = c.inbuf.substr(0, nl);
+      c.inbuf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      handle_line(id, c, line);
+      deliver_completions();
+    }
+    it = conns_.find(id);
+    if (it == conns_.end()) return false;
+    it->second.in_process = false;
+    update_interest(id, it->second);
+    return true;
+  }
+
+  // `c` stays valid across dispatch: only the loop thread mutates conns_,
+  // and dispatch never re-enters the server except through the completion
+  // queue.
+  void handle_line(std::uint64_t id, Conn& c, const std::string& line) {
+    if (c.pending >= s_.opts_.max_inflight_per_conn) {
+      // Connection-level admission control, the analogue of the service
+      // queue's kRejectedQueueFull: explicit ERR, never unbounded buffering.
+      char msg[128];
+      std::snprintf(msg, sizeof msg,
+                    "ERR rejected_conn_inflight_full (in_flight %zu limit %zu)",
+                    c.pending, s_.opts_.max_inflight_per_conn);
+      const std::string_view tag = peel_tag(line);
+      append_out(id, tag.empty() ? std::string(msg)
+                                 : std::string(tag) + " " + msg);
+      return;
+    }
+    ++c.pending;
+    const auto cq = s_.cq_;
+    const Protocol::DispatchKind kind = s_.proto_.dispatch(
+        line,
+        [cq, id](std::string resp) { cq->push(id, std::move(resp)); },
+        /*deliver_async=*/true);
+    if (kind == Protocol::DispatchKind::kNone) {
+      --c.pending;  // blank line: no response will come
+      return;
+    }
+    if (kind == Protocol::DispatchKind::kQuit) {
+      // "OK bye" is already in the completion queue; flush it, then close.
+      c.quitting = true;
+      c.inbuf.clear();
+    }
+  }
+
+  void deliver_completions() {
+    std::vector<std::pair<std::uint64_t, std::string>> items;
+    {
+      std::lock_guard<std::mutex> lock(s_.cq_->mu);
+      items.swap(s_.cq_->items);
+    }
+    for (auto& [id, line] : items) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // connection died first
+      if (it->second.pending > 0) --it->second.pending;
+      append_out(id, std::move(line));
+    }
+  }
+
+  void append_out(std::uint64_t id, std::string line) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    it->second.outbuf += line;
+    it->second.outbuf += '\n';
+    try_flush(id);
+  }
+
+  // Writes as much of the outbuf as the socket takes; closes the connection
+  // on write error or once a quitting/draining connection has settled.
+  // Returns false when the connection was closed.
+  bool try_flush(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return false;
+    Conn& c = it->second;
+    while (!c.outbuf.empty()) {
+      const ssize_t w =
+          ::send(c.fd, c.outbuf.data(), c.outbuf.size(), MSG_NOSIGNAL);
+      if (w > 0) {
+        c.outbuf.erase(0, static_cast<std::size_t>(w));
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (w < 0 && errno == EINTR) continue;
+      close_conn(id);  // EPIPE/ECONNRESET and friends
+      return false;
+    }
+    if (c.outbuf.empty() && c.pending == 0 && (c.quitting || drain_started_)) {
+      close_conn(id);
+      return false;
+    }
+    update_interest(id, c);
+    // Backpressure release: the client drained below half the cap, so any
+    // lines we parked in the inbuf get their turn.
+    if (!c.in_process && !c.quitting && !c.inbuf.empty() &&
+        c.outbuf.size() <= s_.opts_.max_outbuf_bytes / 2)
+      return process_lines(id);
+    return true;
+  }
+
+  void update_interest(std::uint64_t id, Conn& c) {
+    std::uint32_t events = 0;
+    if (!c.quitting && !drain_started_ &&
+        c.outbuf.size() <= s_.opts_.max_outbuf_bytes)
+      events |= EPOLLIN;
+    if (!c.outbuf.empty()) events |= EPOLLOUT;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    (void)::epoll_ctl(s_.epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void close_conn(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    (void)::epoll_ctl(s_.epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    conns_.erase(it);
+    s_.active_.store(conns_.size());
+  }
+
+  NetServer& s_;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_id_ = kFirstConnId;
+  bool drain_started_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_;
+};
+
+NetServer::NetServer(Protocol& proto, NetServerOptions opts)
+    : proto_(proto), opts_(std::move(opts)) {}
+
+NetServer::~NetServer() { shutdown(); }
+
+bool NetServer::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    if (tcp_listen_fd_ >= 0) ::close(std::exchange(tcp_listen_fd_, -1));
+    if (unix_listen_fd_ >= 0) ::close(std::exchange(unix_listen_fd_, -1));
+    if (cq_) {
+      const int fd = cq_->retire_fd();
+      if (fd >= 0) ::close(fd);
+      cq_.reset();
+    }
+    if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
+    return false;
+  };
+  if (started_) return fail("already started");
+  if (opts_.tcp_port < 0 && opts_.unix_path.empty())
+    return fail("no listener configured (need tcp_port >= 0 or unix_path)");
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return fail(errno_message("epoll_create1"));
+
+  const int wake = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake < 0) return fail(errno_message("eventfd"));
+  cq_ = std::make_shared<CompletionQueue>();
+  cq_->wake_fd = wake;
+  epoll_event wev{};
+  wev.events = EPOLLIN;
+  wev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake, &wev) != 0)
+    return fail(errno_message("epoll_ctl(eventfd)"));
+
+  if (opts_.tcp_port >= 0) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (tcp_listen_fd_ < 0) return fail(errno_message("socket(tcp)"));
+    const int one = 1;
+    (void)::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+    if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0)
+      return fail(errno_message("bind(tcp)"));
+    if (::listen(tcp_listen_fd_, 128) != 0)
+      return fail(errno_message("listen(tcp)"));
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0)
+      return fail(errno_message("getsockname(tcp)"));
+    bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    if (!set_nonblocking(tcp_listen_fd_))
+      return fail(errno_message("fcntl(tcp)"));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTcpId;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, tcp_listen_fd_, &ev) != 0)
+      return fail(errno_message("epoll_ctl(tcp)"));
+  }
+
+  if (!opts_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (opts_.unix_path.size() >= sizeof addr.sun_path)
+      return fail("unix path too long");
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (unix_listen_fd_ < 0) return fail(errno_message("socket(unix)"));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.unix_path.c_str(),
+                opts_.unix_path.size() + 1);
+    (void)::unlink(opts_.unix_path.c_str());
+    if (::bind(unix_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0)
+      return fail(errno_message("bind(unix)"));
+    if (::listen(unix_listen_fd_, 128) != 0)
+      return fail(errno_message("listen(unix)"));
+    if (!set_nonblocking(unix_listen_fd_))
+      return fail(errno_message("fcntl(unix)"));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kUnixId;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, unix_listen_fd_, &ev) != 0)
+      return fail(errno_message("epoll_ctl(unix)"));
+  }
+
+  draining_.store(false);
+  loop_thread_ = std::thread([this, wake] {
+    Loop loop(*this);
+    loop.wake_fd_ = wake;
+    loop.run();
+  });
+  started_ = true;
+  return true;
+}
+
+void NetServer::shutdown() {
+  if (started_) {
+    draining_.store(true, std::memory_order_release);
+    cq_->wake();
+    loop_thread_.join();
+    started_ = false;
+  }
+  // The loop closes the listeners in begin_drain(); these only fire when it
+  // exited abnormally (epoll failure) before draining.
+  if (tcp_listen_fd_ >= 0) ::close(std::exchange(tcp_listen_fd_, -1));
+  if (unix_listen_fd_ >= 0) ::close(std::exchange(unix_listen_fd_, -1));
+  if (cq_) {
+    // Retired under the queue mutex: a completion racing in right now
+    // still lands in the (refcounted) queue, it just stops waking anyone.
+    const int fd = cq_->retire_fd();
+    if (fd >= 0) ::close(fd);
+  }
+  if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
+  if (!opts_.unix_path.empty()) (void)::unlink(opts_.unix_path.c_str());
+}
+
+}  // namespace murphy::service

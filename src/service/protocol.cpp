@@ -1,0 +1,311 @@
+#include "src/service/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace murphy::service {
+
+std::optional<std::uint64_t> parse_count(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const char* end = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(tok.data(), end, v, 10);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  // strtod accepts leading whitespace and "inf"/"nan"; reject both — CLI
+  // and protocol operands are single clean tokens or they are errors.
+  if (std::isspace(static_cast<unsigned char>(tok.front()))) {
+    return std::nullopt;
+  }
+  const std::string owned(tok);  // strtod needs a terminator
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+namespace {
+
+[[nodiscard]] std::string printf_line(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Protocol::Protocol(TelemetryStream& stream, DiagnosisService& svc,
+                   ProtocolHooks hooks)
+    : stream_(stream), svc_(svc), hooks_(std::move(hooks)) {}
+
+Protocol::DispatchKind Protocol::dispatch(std::string_view line,
+                                          const Sink& sink,
+                                          bool deliver_async) {
+  // Peel an optional leading "#tag" token; the tagged sink prefixes every
+  // response with it (captured by value — async completions outlive the
+  // dispatch call).
+  std::string_view rest = line;
+  const std::size_t start = rest.find_first_not_of(" \t");
+  if (start != std::string_view::npos && rest[start] == '#') {
+    const std::size_t end = rest.find_first_of(" \t", start);
+    const std::string_view tag = rest.substr(
+        start, (end == std::string_view::npos ? rest.size() : end) - start);
+    if (tag.size() > 1) {
+      rest = end == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(end);
+      Sink tagged = [tag = std::string(tag), sink](std::string s) {
+        sink(tag + " " + std::move(s));
+      };
+      const DispatchKind kind = dispatch_untagged(rest, tagged, deliver_async);
+      // A bare tag with no verb still gets its one response.
+      if (kind == DispatchKind::kNone) {
+        tagged("ERR empty command");
+        return DispatchKind::kImmediate;
+      }
+      return kind;
+    }
+  }
+  return dispatch_untagged(line, sink, deliver_async);
+}
+
+Protocol::DispatchKind Protocol::dispatch_untagged(std::string_view line,
+                                                   const Sink& sink,
+                                                   bool deliver_async) {
+  std::istringstream in{std::string(line)};
+  std::string verb;
+  in >> verb;
+  if (verb.empty()) return DispatchKind::kNone;
+
+  if (verb == "QUIT") {
+    sink("OK bye");
+    return DispatchKind::kQuit;
+  }
+
+  if (verb == "STATS") {
+    const obs::MetricsRegistry* m = hooks_.metrics;
+    const obs::Histogram* h =
+        m == nullptr ? nullptr : m->find_histogram("service.total_ms");
+    const auto cnt = [&](const char* name) -> unsigned long long {
+      const obs::Counter* c = m == nullptr ? nullptr : m->find_counter(name);
+      return c == nullptr ? 0ULL : c->value();
+    };
+    // Summary fields first, then the FULL registry snapshot: every
+    // instrument any subsystem ever registered, not the handful this
+    // format string knew about (scripts/metrics_diff.py consumes the JSON).
+    std::string out = printf_line(
+        "OK slices=%zu version=%llu queue=%zu replayed=%zu completed=%llu "
+        "rejected=%llu deadline_exceeded=%llu p50_ms=%.1f p99_ms=%.1f "
+        "metrics=",
+        stream_.slice_count(),
+        static_cast<unsigned long long>(stream_.data_version()),
+        svc_.queue_depth(), hooks_.replayed ? hooks_.replayed() : 0,
+        cnt("service.completed"), cnt("service.rejected"),
+        cnt("service.deadline_exceeded"),
+        h == nullptr ? 0.0 : h->quantile(0.5),
+        h == nullptr ? 0.0 : h->quantile(0.99));
+    out += m == nullptr ? "{}" : m->to_json();
+    sink(std::move(out));
+    return DispatchKind::kImmediate;
+  }
+
+  if (verb == "MARKERS") {
+    std::string out = "OK [";
+    bool first = true;
+    if (hooks_.export_markers) {
+      for (const obs::Marker& mk : hooks_.export_markers(0.0)) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + mk.name +
+               "\",\"payload\":" + obs::marker_payload_json(mk) + "}";
+      }
+    }
+    out += "]";
+    sink(std::move(out));
+    return DispatchKind::kImmediate;
+  }
+
+  if (verb == "INCIDENTS") {
+    sink("OK " + (hooks_.incidents_json ? hooks_.incidents_json()
+                                        : std::string("[]")));
+    return DispatchKind::kImmediate;
+  }
+
+  if (verb == "REPLAY" || verb == "EXTEND") {
+    // Optional count, default 1. A failed `in >> n` extraction would write
+    // 0 over the default and print OK (the pre-PR bug); parse the token
+    // explicitly and reject garbage instead.
+    std::uint64_t n = 1;
+    std::string tok;
+    if (in >> tok) {
+      const auto parsed = parse_count(tok);
+      if (!parsed.has_value()) {
+        sink(printf_line("ERR bad count '%s' (usage: %s [n])", tok.c_str(),
+                         verb.c_str()));
+        return DispatchKind::kImmediate;
+      }
+      n = *parsed;
+      if (in >> tok) {
+        sink(printf_line("ERR trailing garbage '%s' (usage: %s [n])",
+                         tok.c_str(), verb.c_str()));
+        return DispatchKind::kImmediate;
+      }
+    }
+    if (verb == "REPLAY") {
+      const std::size_t cells =
+          hooks_.replay_n ? hooks_.replay_n(static_cast<std::size_t>(n)) : 0;
+      sink(printf_line("OK replayed_to=%zu cells=%zu",
+                       hooks_.replayed ? hooks_.replayed() : 0, cells));
+    } else {
+      if (n > kMaxExtend) {
+        sink(printf_line("ERR count too large (max %llu)",
+                         static_cast<unsigned long long>(kMaxExtend)));
+        return DispatchKind::kImmediate;
+      }
+      stream_.extend_axis(static_cast<std::size_t>(n));
+      sink(printf_line("OK slices=%zu", stream_.slice_count()));
+    }
+    return DispatchKind::kImmediate;
+  }
+
+  if (verb == "INGEST") {
+    std::string entity, metric;
+    TimeIndex t = 0;
+    double value = 0.0;
+    if (!(in >> entity >> metric >> t >> value)) {
+      sink("ERR usage: INGEST <entity> <metric> <slice> <value>");
+      return DispatchKind::kImmediate;
+    }
+    const EntityId id = stream_.read()->find_entity(entity);
+    if (!id.valid()) {
+      sink("ERR unknown entity " + entity);
+      return DispatchKind::kImmediate;
+    }
+    sink(stream_.append_cell(id, metric, t, value)
+             ? "OK"
+             : "ERR cell dropped (slice out of axis?)");
+    return DispatchKind::kImmediate;
+  }
+
+  if (verb == "SNAPSHOT") {
+    std::string path;
+    if (!(in >> path)) {
+      sink("ERR usage: SNAPSHOT <path>");
+      return DispatchKind::kImmediate;
+    }
+    sink((stream_.save_snapshot(path) ? "OK " : "ERR write ") + path);
+    return DispatchKind::kImmediate;
+  }
+
+  if (verb == "DIAGNOSE") {
+    std::string entity, metric;
+    if (!(in >> entity >> metric)) {
+      sink("ERR usage: DIAGNOSE <entity> <metric> [hops] [deadline_ms]");
+      return DispatchKind::kImmediate;
+    }
+    ServiceRequest req;
+    req.max_hops = 4;
+    std::uint64_t deadline_ms = 0;
+    // Optional operands parsed token-by-token: the pre-PR `in >> max_hops`
+    // zeroed the documented default of 4 whenever the operand was absent or
+    // non-numeric, so every hop-less DIAGNOSE ran with max_hops=0.
+    std::string tok;
+    if (in >> tok) {
+      const auto hops = parse_count(tok);
+      if (!hops.has_value()) {
+        sink(printf_line("ERR bad max_hops '%s' (usage: DIAGNOSE <entity> "
+                         "<metric> [hops] [deadline_ms])",
+                         tok.c_str()));
+        return DispatchKind::kImmediate;
+      }
+      req.max_hops = static_cast<std::size_t>(*hops);
+      if (in >> tok) {
+        const auto dl = parse_count(tok);
+        if (!dl.has_value()) {
+          sink(printf_line("ERR bad deadline_ms '%s' (usage: DIAGNOSE "
+                           "<entity> <metric> [hops] [deadline_ms])",
+                           tok.c_str()));
+          return DispatchKind::kImmediate;
+        }
+        deadline_ms = *dl;
+        if (in >> tok) {
+          sink(printf_line("ERR trailing garbage '%s' (usage: DIAGNOSE "
+                           "<entity> <metric> [hops] [deadline_ms])",
+                           tok.c_str()));
+          return DispatchKind::kImmediate;
+        }
+      }
+    }
+    {
+      const auto db = stream_.read();
+      req.symptom_entity = db->find_entity(entity);
+      const std::size_t slices = db->metrics().axis().size();
+      if (slices == 0) {
+        sink("ERR empty axis");
+        return DispatchKind::kImmediate;
+      }
+      req.now = slices - 1;
+      req.train_begin = 0;
+      req.train_end = slices;  // online training includes `now`
+    }
+    if (!req.symptom_entity.valid()) {
+      sink("ERR unknown entity " + entity);
+      return DispatchKind::kImmediate;
+    }
+    req.symptom_metric = metric;
+    if (deadline_ms > 0)
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(deadline_ms);
+    if (deliver_async) {
+      // The completing worker formats and delivers; rejections fire the
+      // hook synchronously inside submit(), which still lands exactly one
+      // sink call for this line.
+      req.on_complete = [this, sink](const ServiceResponse& resp) {
+        sink(format_diagnose_response(resp));
+      };
+      (void)svc_.submit(std::move(req));
+      return DispatchKind::kAsync;
+    }
+    auto fut = svc_.submit(std::move(req));
+    sink(format_diagnose_response(fut.get()));
+    return DispatchKind::kImmediate;
+  }
+
+  sink("ERR unknown verb " + verb);
+  return DispatchKind::kImmediate;
+}
+
+std::string Protocol::format_diagnose_response(
+    const ServiceResponse& resp) const {
+  if (resp.status != RequestStatus::kOk) {
+    return printf_line("ERR %s (queue %.1fms run %.1fms)",
+                       std::string(to_string(resp.status)).c_str(),
+                       resp.queue_ms, resp.run_ms);
+  }
+  std::ostringstream out;
+  out << "OK id=" << resp.request_id << " version=" << resp.db_version
+      << " run_ms=" << resp.run_ms;
+  const auto db = stream_.read();
+  const std::size_t top = std::min<std::size_t>(resp.result.causes.size(), 5);
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto& c = resp.result.causes[i];
+    out << " " << (i + 1) << ":"
+        << (db->has_entity(c.entity) ? db->entity(c.entity).name : "<gone>");
+  }
+  return out.str();
+}
+
+}  // namespace murphy::service

@@ -1,0 +1,104 @@
+// The murphyd line protocol, extracted from the daemon's main() so the
+// stdio front end and the socket front end (net_server.h) dispatch through
+// one implementation (DESIGN.md §12).
+//
+// Framing: one command per newline-terminated line, one response line per
+// command ("OK ..." / "ERR ..."). A command may carry a client tag — a
+// leading token starting with '#' (e.g. "#7 DIAGNOSE web cpu_util") — and
+// its response line is then prefixed with the same tag ("#7 OK ...").
+// Untagged commands produce the exact byte sequences the pre-socket stdio
+// protocol produced, so existing transcripts keep working.
+//
+// Delivery: every verb except DIAGNOSE is answered synchronously, in
+// command order. DIAGNOSE is scheduled on the DiagnosisService; in blocking
+// mode (stdio) dispatch() waits for the result so responses stay strictly
+// in command order, while in async mode (sockets) dispatch() returns as
+// soon as the request is admitted and the response is delivered from the
+// worker that completes it — possibly out of order relative to later
+// commands, which is what tags are for. Either way every dispatched line
+// gets exactly one response.
+//
+// Thread safety: dispatch() may be called concurrently from the stdio loop
+// and the socket event loop; Protocol itself is stateless between calls and
+// the hooks it is built with must be individually thread-safe (murphyd's
+// are — replay is serialized by the daemon's replay mutex, the stream and
+// service are concurrent by design).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/markers.h"
+#include "src/obs/metrics.h"
+#include "src/service/diagnosis_service.h"
+#include "src/service/telemetry_stream.h"
+
+namespace murphy::service {
+
+// Strict full-token numeric parsing shared by protocol operands and the
+// daemon's CLI (a failed istream extraction writes 0 over any preset — the
+// max_hops-clobbering bug — so operands are parsed from explicit tokens).
+// Rejects empty tokens, signs, trailing garbage and overflow.
+[[nodiscard]] std::optional<std::uint64_t> parse_count(std::string_view tok);
+// Strict finite double: full token, no trailing garbage, no inf/nan.
+[[nodiscard]] std::optional<double> parse_double(std::string_view tok);
+
+// Callbacks the daemon wires in; each must be thread-safe (see above).
+struct ProtocolHooks {
+  // Replays up to n feed slices, returns cells written (REPLAY verb).
+  std::function<std::size_t(std::size_t)> replay_n;
+  // Slices replayed so far (REPLAY response + STATS).
+  std::function<std::size_t()> replayed;
+  // Marker export shared with --marker-every (MARKERS verb).
+  std::function<std::vector<obs::Marker>(double)> export_markers;
+  // Incident table as a JSON array (INCIDENTS verb). Unset => "[]".
+  std::function<std::string()> incidents_json;
+  // Registry behind STATS; null disables the summary counters/quantiles.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Protocol {
+ public:
+  // One full response line, without the trailing '\n'. In async mode the
+  // sink for a DIAGNOSE line is invoked from a service thread after
+  // dispatch() returned; it must be safe to call from any thread.
+  using Sink = std::function<void(std::string)>;
+
+  enum class DispatchKind {
+    kNone,       // empty line: no response
+    kImmediate,  // sink was called before dispatch() returned
+    kAsync,      // DIAGNOSE admitted; sink fires on completion
+    kQuit,       // QUIT: "OK bye" sent, caller should wind down
+  };
+
+  // The stream and service must outlive the protocol.
+  Protocol(TelemetryStream& stream, DiagnosisService& svc,
+           ProtocolHooks hooks);
+
+  // Dispatches one command line. `deliver_async` selects DIAGNOSE delivery:
+  // false = block until the diagnosis completes (stdio ordering), true =
+  // deliver from the completing worker (socket pipelining). Exactly one
+  // sink call per non-empty line, kNone lines produce none.
+  DispatchKind dispatch(std::string_view line, const Sink& sink,
+                        bool deliver_async);
+
+  // EXTEND bound: a mistyped count should not allocate the axis into
+  // oblivion before admission control can say no.
+  static constexpr std::uint64_t kMaxExtend = 1u << 20;
+
+ private:
+  DispatchKind dispatch_untagged(std::string_view line, const Sink& sink,
+                                 bool deliver_async);
+  [[nodiscard]] std::string format_diagnose_response(
+      const ServiceResponse& resp) const;
+
+  TelemetryStream& stream_;
+  DiagnosisService& svc_;
+  ProtocolHooks hooks_;
+};
+
+}  // namespace murphy::service
